@@ -1,0 +1,97 @@
+"""Ablation — elasticity under node churn (failure injection).
+
+The paper's applications are replicated for fault tolerance
+(Section II-A); this ablation goes beyond the paper and asks whether
+DCA's advantage survives continuous node failures: every ready node
+crashes with 2% probability per minute, and managers must detect the
+lost capacity through their monitoring signals and re-provision it.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_scenario, run_once
+from repro.evalx.experiment import ExperimentConfig, build_simulator
+from repro.evalx.reporting import format_table
+from repro.sim.engine import SimulationConfig
+
+DURATION = 300
+FAILURE_RATE = 0.02
+MANAGERS = ("CloudWatch", "ElasticRMI", "DCA-10%")
+
+
+def _run(app_name, manager, failure_rate):
+    scenario = get_scenario(app_name)
+    config = ExperimentConfig(
+        duration_minutes=DURATION,
+        sim=SimulationConfig(
+            duration_minutes=DURATION,
+            node_failure_rate_per_min=failure_rate,
+            failure_seed=11,
+        ),
+    )
+    sim = build_simulator(scenario, manager, config)
+    result = sim.run()
+    return result, sim.nodes_failed_total
+
+
+def test_ablation_managers_under_churn(benchmark):
+    def sweep():
+        out = {}
+        for manager in MANAGERS:
+            calm, _ = _run("hedwig", manager, 0.0)
+            churn, failed = _run("hedwig", manager, FAILURE_RATE)
+            out[manager] = (calm, churn, failed)
+        return out
+
+    results = run_once(benchmark, sweep)
+    rows = []
+    for manager, (calm, churn, failed) in results.items():
+        rows.append(
+            [
+                manager,
+                f"{calm.agility():.2f}",
+                f"{churn.agility():.2f}",
+                f"{calm.sla_violation_percent():.2f}%",
+                f"{churn.sla_violation_percent():.2f}%",
+                str(failed),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["manager", "agility", "agility (churn)", "SLA", "SLA (churn)", "nodes failed"],
+            rows,
+        )
+    )
+
+    for manager, (calm, churn, failed) in results.items():
+        assert failed > 50, f"{manager}: churn did not materialise"
+        # Churn must degrade SLA for every manager.
+        assert churn.sla_violation_percent() >= calm.sla_violation_percent() * 0.9
+    # The path-aware manager must not collapse under churn (the black-box
+    # baselines may: CloudWatch's uniform re-provisioning replaces failed
+    # hot-tier nodes with cold-tier ones).
+    assert results["DCA-10%"][1].sla_violation_percent() < 35.0
+
+    # DCA's precision advantage survives churn.
+    assert (
+        results["DCA-10%"][1].agility() < results["CloudWatch"][1].agility()
+    )
+    assert (
+        results["DCA-10%"][1].sla_violation_percent()
+        < results["CloudWatch"][1].sla_violation_percent()
+    )
+
+
+def test_churn_turns_into_shortage_not_excess(benchmark):
+    """Failures remove paid-for capacity, so agility's churn penalty shows
+    up as shortage/violations, not as idle machines."""
+    from repro.evalx.agility import breakdown
+
+    def measure():
+        calm, _ = _run("hedwig", "DCA-10%", 0.0)
+        churn, _ = _run("hedwig", "DCA-10%", FAILURE_RATE)
+        return breakdown(calm), breakdown(churn)
+
+    calm_b, churn_b = run_once(benchmark, measure)
+    assert churn_b.mean_shortage >= calm_b.mean_shortage

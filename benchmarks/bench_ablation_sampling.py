@@ -1,0 +1,87 @@
+"""Ablation (RQ4) — fine-grained sampling-rate sweep.
+
+The paper evaluates {5, 10, 20, 100}% and finds "sampling around the 10%
+threshold seems most effective".  This ablation sweeps a finer grid and
+locates the sweet spot between profile fidelity (too little sampling →
+stale/noisy causal probabilities) and runtime overhead (too much →
+excess capacity provisioned for instrumentation).
+"""
+
+import pytest
+
+from benchmarks.conftest import get_scenario, run_once
+from repro.core.elasticity import DCAElasticityManager, DCAManagerConfig, detect_serialization_suspects
+from repro.evalx.experiment import ExperimentConfig, build_simulator
+from repro.evalx.reporting import format_table
+from repro.sim.engine import ClusterSimulator, DCABundle, SimulationConfig
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.patterns import ScaledPattern, paper_pattern
+
+RATES = (0.02, 0.05, 0.10, 0.20, 0.50, 1.0)
+DURATION = 300  # enough to cover several mix phases
+
+
+def _run_rate(scenario, rate, seed=7):
+    bundle = DCABundle.create(
+        scenario.app,
+        sampling_rate=rate,
+        overhead_model=scenario.overhead_model,
+        num_front_ends=scenario.num_front_ends,
+        seed=seed,
+    )
+    low, high = scenario.magnitudes
+    generator = WorkloadGenerator(
+        ScaledPattern(paper_pattern, low, high), scenario.mix, scenario.classes, seed=seed
+    )
+    manager = DCAElasticityManager(
+        profiler=bundle.profiler,
+        machine=scenario.machine,
+        config=DCAManagerConfig(sampling_rate=rate),
+        serialization_suspects=detect_serialization_suspects(scenario.app),
+    )
+    sim = ClusterSimulator(
+        scenario.app,
+        generator,
+        dict(scenario.deployments),
+        scenario.machine,
+        manager,
+        config=SimulationConfig(duration_minutes=DURATION),
+        dca=bundle,
+    )
+    return sim.run()
+
+
+def test_ablation_sampling_sweep(benchmark):
+    scenario = get_scenario("hedwig")
+    results = run_once(benchmark, lambda: {rate: _run_rate(scenario, rate) for rate in RATES})
+    rows = [
+        [
+            f"{int(rate * 100)}%",
+            f"{res.agility():.2f}",
+            f"{res.sla_violation_percent():.2f}%",
+            f"{100 * res.overhead_mean():.2f}%",
+        ]
+        for rate, res in sorted(results.items())
+    ]
+    print()
+    print(format_table(["sampling", "agility", "SLA violations", "overhead"], rows))
+
+    agility = {rate: res.agility() for rate, res in results.items()}
+    # The sweet spot sits at low-to-mid sampling (the paper's ~10%); the
+    # 5–10% band is within a few percent of the sweep minimum.
+    best = min(agility, key=agility.get)
+    assert best <= 0.20, f"sweet spot unexpectedly high: {best}"
+    assert agility[0.10] <= min(agility.values()) * 1.10
+    # Full tracking is dominated by mid-rate sampling (RQ2/RQ3).
+    assert agility[1.0] > agility[0.10]
+    # Heavy sampling monotonically worsens agility past the sweet spot.
+    assert agility[0.50] > agility[0.20] * 0.95
+
+
+def test_ablation_overhead_monotone_in_rate(benchmark):
+    scenario = get_scenario("hedwig")
+    results = run_once(
+        benchmark, lambda: {rate: _run_rate(scenario, rate) for rate in (0.05, 0.20, 1.0)}
+    )
+    overheads = [results[r].overhead_mean() for r in (0.05, 0.20, 1.0)]
+    assert overheads == sorted(overheads)

@@ -1,0 +1,104 @@
+"""Ablation — DCA's V_tr restriction vs whole-program dynamic tracking.
+
+"This is a key distinction between DCA and existing whole-program
+dynamic slicing and dynamic control/data dependence detection algorithms
+— we reduce the overhead by only considering information flow from input
+messages to output messages." (Section IV-A)
+
+This ablation quantifies the claim: for each evaluation application,
+compare the number of persisted provenance-store operations per request
+under (a) DCA's ``V_tr`` instrumentation and (b) naive tracking of every
+state variable, while asserting that both produce identical causal
+paths (V_tr loses no causality information).
+"""
+
+import pytest
+
+from benchmarks.conftest import get_scenario, run_once
+from repro.core.dca import analyze_application
+from repro.evalx.reporting import format_table
+from repro.lang.interpreter import Interpreter, ReplicaState
+from repro.lang.message import UidFactory
+from repro.sim.runtime import ApplicationRuntime
+
+
+def _ops_per_request(scenario, track_all: bool):
+    """Total persisted stores across one trace of every request class."""
+    app = scenario.app
+    dca = analyze_application(app)
+    library = app.library
+    interpreters = {}
+    states = {}
+    factories = {}
+    for idx, (name, comp) in enumerate(sorted(app.components.items()), start=1):
+        tracked = None if track_all else set(dca.per_component[name].v_tr)
+        interpreters[name] = Interpreter(
+            comp, library, tracked_vars=tracked, track_all=track_all
+        )
+        states[name] = ReplicaState.from_component(comp)
+        factories[name] = UidFactory(f"10.0.{int(track_all)}.{idx}", idx)
+
+    from collections import deque
+
+    from repro.lang.ir import CLIENT, EXTERNAL
+    from repro.lang.message import Message
+
+    total_stores = 0
+    signatures = []
+    ext = UidFactory("client", 9)
+    for request in scenario.classes:
+        entry = app.entry_points[request.request_type]
+        root = Message(ext.next_uid(), request.request_type, EXTERNAL, entry,
+                       dict(request.fields))
+        queue = deque([root])
+        edges = set()
+        while queue:
+            msg = queue.popleft()
+            edges.add((msg.src, msg.msg_type, msg.dest))
+            if msg.dest == CLIENT:
+                continue
+            outcome = interpreters[msg.dest].handle(states[msg.dest], msg, factories[msg.dest])
+            total_stores += outcome.tracked_writes
+            queue.extend(outcome.emitted)
+        signatures.append(tuple(sorted(edges)))
+    return total_stores, signatures
+
+
+@pytest.mark.parametrize("app_name", ["marketcetera", "hedwig", "zookeeper"])
+def test_ablation_vtr_vs_whole_program(benchmark, app_name):
+    scenario = get_scenario(app_name)
+
+    def measure():
+        dca_ops, dca_sigs = _ops_per_request(scenario, track_all=False)
+        full_ops, full_sigs = _ops_per_request(scenario, track_all=True)
+        return dca_ops, full_ops, dca_sigs, full_sigs
+
+    dca_ops, full_ops, dca_sigs, full_sigs = run_once(benchmark, measure)
+    saving = 1.0 - dca_ops / max(1, full_ops)
+    print(f"\n{app_name}: persisted stores per request mix — "
+          f"whole-program {full_ops}, DCA V_tr {dca_ops} "
+          f"({100 * saving:.0f}% fewer)")
+    # The restriction must save work …
+    assert dca_ops < full_ops
+    # … without changing any causal path.
+    assert dca_sigs == full_sigs
+
+
+def test_ablation_vtr_fraction_table(benchmark):
+    """How much of each component's state DCA actually instruments."""
+
+    def measure():
+        rows = []
+        for app_name in ("marketcetera", "hedwig", "zookeeper"):
+            scenario = get_scenario(app_name)
+            dca = analyze_application(scenario.app)
+            tracked = dca.total_tracked_vars()
+            total = sum(a.state_var_count for a in dca.per_component.values())
+            rows.append([app_name, str(tracked), str(total), f"{100 * tracked / total:.0f}%"])
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print()
+    print(format_table(["application", "V_tr vars", "state vars", "instrumented"], rows))
+    for row in rows:
+        assert int(row[1]) < int(row[2])  # strictly fewer than all state vars

@@ -1,0 +1,63 @@
+"""Fig. 5 — runtime overhead of DCA at 100/5/10/20% sampling.
+
+Regenerates, for Marketcetera and Hedwig (plus the companion-TR
+Zookeeper), the paper's overhead table: mean overhead and the range
+containing 95% of per-minute measurements over the 450-minute Fig. 7 run.
+
+Paper values (mean): Marketcetera 37.8 / 2.89 / 5.76 / 11.36 %,
+Hedwig 27.5 / 3.38 / 5.39 / 9.7 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_scenario, run_once
+from repro.evalx.overhead import fig5_measurements
+from repro.evalx.reporting import fig5_table
+
+#: Sampling levels of the paper's Fig. 5, in table order.
+RATES = (1.0, 0.05, 0.10, 0.20)
+
+#: Shape bands derived from the paper (DESIGN.md §3).
+BANDS = {
+    1.0: (0.22, 0.45),
+    0.05: (0.02, 0.045),
+    0.10: (0.045, 0.075),
+    0.20: (0.07, 0.14),
+}
+
+
+@pytest.mark.parametrize("app_name", ["marketcetera", "hedwig", "zookeeper"])
+def test_fig5_overhead_table(benchmark, app_name):
+    scenario = get_scenario(app_name)
+    measurements = run_once(benchmark, lambda: fig5_measurements(scenario))
+    print()
+    print(fig5_table({app_name: measurements}))
+    for rate, (lo, hi) in BANDS.items():
+        measured = measurements[rate].mean
+        assert lo <= measured <= hi, (
+            f"{app_name} DCA-{int(rate * 100)}% overhead {measured:.3f} outside paper band [{lo}, {hi}]"
+        )
+
+
+def test_fig5_overhead_ordering(benchmark):
+    """Sampling monotonicity: more sampling, more overhead; and 100% is far
+    below 20 × the 5% overhead (amortisation, Section IV-D)."""
+    scenario = get_scenario("marketcetera")
+    measurements = run_once(benchmark, lambda: fig5_measurements(scenario))
+    m = {rate: meas.mean for rate, meas in measurements.items()}
+    assert m[0.05] < m[0.10] < m[0.20] < m[1.0]
+    assert m[1.0] < 20 * m[0.05] * 0.9
+
+
+def test_fig5_marketcetera_exceeds_hedwig_at_full_sampling(benchmark):
+    """The paper's table: Marketcetera's 100% overhead (37.8%) exceeds
+    Hedwig's (27.5%) — the trading platform has denser tracked state."""
+
+    def measure():
+        return (
+            fig5_measurements(get_scenario("marketcetera"), rates=(1.0,)),
+            fig5_measurements(get_scenario("hedwig"), rates=(1.0,)),
+        )
+
+    trading, pubsub = run_once(benchmark, measure)
+    assert trading[1.0].mean > pubsub[1.0].mean

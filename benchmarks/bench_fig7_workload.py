@@ -1,0 +1,68 @@
+"""Fig. 7 — the 450-minute workload pattern driving all experiments.
+
+Regenerates the pattern (cyclic "regular" variations, step-wise increase
+and decrease, abrupt increase and decrease) and prints it as a sparkline;
+asserts the phase structure and benchmarks the workload generator's
+throughput.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_scenario, run_once
+from repro.evalx.reporting import sparkline
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.patterns import ScaledPattern, paper_pattern
+
+
+def test_fig7_pattern_shape(benchmark):
+    series = run_once(benchmark, lambda: [paper_pattern(float(t)) for t in range(450)])
+    print()
+    print("Fig. 7 workload pattern (A=0, B=1):")
+    print(" ", sparkline(series, width=90))
+    # Cyclic head: several oscillations in the first 180 minutes.
+    head = series[:180]
+    crossings = sum(
+        1
+        for a, b in zip(head, head[1:])
+        if (a - 0.45) * (b - 0.45) < 0
+    )
+    assert crossings >= 4
+    # Step-wise increase (180–240), abrupt decrease (~255), ramp (270–330),
+    # plateau, rapid fall (360–390).
+    assert series[238] > series[182]
+    assert series[256] < series[254] - 0.2
+    assert series[329] > series[271] + 0.5
+    assert max(series[330:360]) == pytest.approx(0.95)
+    assert series[389] < series[361] - 0.5
+
+
+def test_fig7_magnitudes_differ_per_benchmark(benchmark):
+    """'The values of points A and B … are different for the four systems
+    depending on the benchmark.'"""
+
+    def load():
+        return {
+            name: get_scenario(name).magnitudes
+            for name in ("marketcetera", "hedwig", "zookeeper")
+        }
+
+    magnitudes = run_once(benchmark, load)
+    assert len(set(magnitudes.values())) == 3
+    for low, high in magnitudes.values():
+        assert 0 < low < high
+
+
+def test_fig7_generator_throughput(benchmark):
+    """Microbenchmark: per-minute arrival draws across the full run."""
+    scenario = get_scenario("marketcetera")
+    low, high = scenario.magnitudes
+    generator = WorkloadGenerator(
+        ScaledPattern(paper_pattern, low, high), scenario.mix, scenario.classes, seed=1
+    )
+
+    def draw_full_run():
+        return [generator.arrivals(float(t)) for t in range(450)]
+
+    draws = benchmark(draw_full_run)
+    assert len(draws) == 450
+    assert all(sum(d.values()) >= 0 for d in draws)

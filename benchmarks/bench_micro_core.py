@@ -1,0 +1,65 @@
+"""Microbenchmarks of the core machinery (genuine pytest-benchmark timings).
+
+These are not paper figures; they keep the reproduction honest about its
+own costs: static analysis time, instrumented vs plain interpretation
+throughput, path enumeration, and profiler recording.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_scenario
+from repro.core.dca import analyze_application
+from repro.core.paths import enumerate_causal_paths, signature_from_edges
+from repro.lang.ir import CLIENT, EXTERNAL
+from repro.profiling.profiler import CausalPathProfiler
+from repro.sim.runtime import ApplicationRuntime
+
+
+def test_bench_dca_static_analysis(benchmark):
+    app = get_scenario("marketcetera").app
+    result = benchmark(lambda: analyze_application(app))
+    assert result.total_tracked_vars() > 0
+
+
+def test_bench_path_enumeration(benchmark):
+    app = get_scenario("marketcetera").app
+    paths = benchmark(lambda: enumerate_causal_paths(app))
+    assert sum(len(v) for v in paths.values()) >= 4
+
+
+def test_bench_plain_interpretation(benchmark):
+    scenario = get_scenario("marketcetera")
+    runtime = ApplicationRuntime(scenario.app)
+    request = scenario.request_class("order_submit")
+
+    trace = benchmark(lambda: runtime.execute_request(request, sampled=False))
+    assert trace.responses == 1
+
+
+def test_bench_instrumented_interpretation(benchmark):
+    scenario = get_scenario("marketcetera")
+    runtime = ApplicationRuntime(
+        scenario.app,
+        dca_result=analyze_application(scenario.app),
+        overhead_model=scenario.overhead_model,
+        sampling_rate=1.0,
+    )
+    request = scenario.request_class("order_submit")
+
+    trace = benchmark(lambda: runtime.execute_request(request, sampled=True))
+    assert sum(trace.component_instr_ops.values()) > 0
+
+
+def test_bench_profiler_recording(benchmark):
+    sig = signature_from_edges(
+        "go", [(EXTERNAL, "go", "A"), ("A", "x", "B"), ("B", "done", CLIENT)]
+    )
+    profiler = CausalPathProfiler({"go": [sig]})
+
+    def record_minute():
+        for i in range(100):
+            profiler.record(sig, float(i % 60))
+        return profiler.counts(59.0)
+
+    counts = benchmark(record_minute)
+    assert sum(counts.values()) > 0

@@ -1,0 +1,57 @@
+"""Robustness — the Fig. 8 ordering must not be an artifact of one seed.
+
+Re-runs the full seven-manager Hedwig experiment under three different
+workload/sampling seeds and asserts the paper's ordering (with a 5%
+tolerance on the DCA-5%/10% pair, which the paper itself reports as a
+1.3-node difference and which is a statistical near-tie at our scale —
+see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from benchmarks.conftest import get_scenario, run_once
+from repro.evalx.experiment import ExperimentConfig, run_all_managers
+from repro.evalx.reporting import format_table
+
+ORDER = (
+    "DCA-10%",
+    "DCA-5%",
+    "DCA-20%",
+    "ElasticRMI",
+    "DCA-100%",
+    "HTrace+CW",
+    "CloudWatch",
+)
+SEEDS = (1, 13, 42)
+
+
+def test_fig8_ordering_robust_across_seeds(benchmark):
+    scenario = get_scenario("hedwig")
+
+    def sweep():
+        out = {}
+        for seed in SEEDS:
+            results = run_all_managers(
+                scenario, config=ExperimentConfig(duration_minutes=450, seed=seed)
+            )
+            out[seed] = {name: results[name].agility() for name in ORDER}
+        return out
+
+    per_seed = run_once(benchmark, sweep)
+    rows = [
+        [str(seed)] + [f"{per_seed[seed][name]:.2f}" for name in ORDER]
+        for seed in SEEDS
+    ]
+    print()
+    print(format_table(["seed"] + list(ORDER), rows))
+
+    for seed, agility in per_seed.items():
+        for better, worse in zip(ORDER, ORDER[1:]):
+            assert agility[better] <= agility[worse] * 1.05, (
+                f"seed {seed}: {better} ({agility[better]:.2f}) vs "
+                f"{worse} ({agility[worse]:.2f})"
+            )
+        # The non-tied gaps are decisive at every seed.
+        assert agility["DCA-10%"] < agility["DCA-20%"]
+        assert agility["DCA-20%"] < agility["ElasticRMI"]
+        assert agility["DCA-100%"] < agility["CloudWatch"]

@@ -1,0 +1,70 @@
+"""Companion-TR experiment — Zookeeper under all seven managers.
+
+The paper defers the Zookeeper results to its technical report; this
+bench regenerates the same table for our Zookeeper model, including the
+Section II-C concurrency finding: the quorum log is a serialised
+bottleneck, DCA's structural rule refuses to scale it, and utilisation-
+driven CloudWatch pours machines into it for no benefit.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_full_results, get_scenario, run_once
+from repro.core.elasticity import detect_serialization_suspects
+from repro.evalx.reporting import fig8_table, sla_table
+
+
+def test_tr_zookeeper_agility_table(benchmark):
+    results = run_once(benchmark, lambda: get_full_results("zookeeper"))
+    print()
+    print(fig8_table({"zookeeper": results}))
+    print(sla_table({"zookeeper": results}))
+    agility = {name: res.agility() for name, res in results.items()}
+    # Headline orderings (the 5%/10% pair is within noise on this app).
+    assert agility["DCA-10%"] < agility["DCA-20%"]
+    assert agility["DCA-5%"] < agility["DCA-20%"]
+    assert agility["DCA-20%"] < agility["ElasticRMI"]
+    assert agility["ElasticRMI"] < agility["DCA-100%"]
+    assert agility["DCA-100%"] < agility["HTrace+CW"]
+    assert agility["HTrace+CW"] < agility["CloudWatch"]
+
+
+def test_tr_quorum_log_structural_detection(benchmark):
+    scenario = get_scenario("zookeeper")
+    suspects = run_once(benchmark, lambda: detect_serialization_suspects(scenario.app))
+    assert suspects == {"quorum-log"}
+
+
+def test_tr_dca_does_not_overscale_quorum_log(benchmark):
+    """Section II-C: 'elastic scaling of said component can be prevented'.
+    DCA keeps the quorum log at its cap; CloudWatch wastes machines on it."""
+    results = run_once(benchmark, lambda: get_full_results("zookeeper"))
+    serial_cap = get_scenario("zookeeper").deployments["quorum-log"].serial_limit
+
+    def mean_provisioned(result, comp):
+        values = [r.components[comp].provisioned_nodes for r in result.records]
+        return sum(values) / len(values)
+
+    dca_nodes = mean_provisioned(results["DCA-10%"], "quorum-log")
+    cw_nodes = mean_provisioned(results["CloudWatch"], "quorum-log")
+    assert dca_nodes <= serial_cap + 1
+    assert cw_nodes > dca_nodes * 1.5
+
+
+def test_tr_write_surge_stresses_leader_not_readers(benchmark):
+    """During the write-heavy phase the leader tier's requirement rises
+    while the replica readers' falls — the per-path precision DCA needs."""
+    results = run_once(benchmark, lambda: get_full_results("zookeeper"))
+    records = results["DCA-10%"].records
+
+    def mean_req(comp, lo, hi):
+        vals = [r.components[comp].req_min_nodes for r in records[lo:hi]]
+        return sum(vals) / len(vals)
+
+    # Phase anchors: read-heavy around t∈[0,50), write-heavy around [140,210).
+    assert mean_req("leader", 140, 210) > mean_req("leader", 0, 50)
+    read_share_early = mean_req("replica-reader", 0, 50)
+    read_share_surge = mean_req("replica-reader", 140, 210)
+    leader_growth = mean_req("leader", 140, 210) / max(1.0, mean_req("leader", 0, 50))
+    reader_growth = read_share_surge / max(1.0, read_share_early)
+    assert leader_growth > reader_growth

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The paper's Section IV-C worked example, end to end.
+
+An online store receives a 69% purchase / 31% simple-visit traffic mix.
+DCA traces the sampled requests, the profiler counts the two causal
+paths, and causal probability apportions machines — reproducing the
+paper's arithmetic: when the front-end workload doubles and 30 new
+machines are needed, Price DB and Inventory get 7 each (×1.69), Customer
+Tracking and Ad Serving get 3 each (×1.31), instead of CloudWatch's
+"double everything" (50 machines).
+
+Run:  python examples/ecommerce_scaling.py
+"""
+
+from repro.apps import ecommerce
+from repro.core.causal_graph import DirectCausalityTracker
+from repro.core.dca import analyze_application
+from repro.core.paths import enumerate_causal_paths
+from repro.core.probability import causal_probabilities, component_weights, proportional_allocation
+from repro.profiling.profiler import CausalPathProfiler
+from repro.sim.runtime import ApplicationRuntime
+
+
+def main() -> None:
+    app = ecommerce.build()
+    simple, purchase = ecommerce.request_classes()
+    dca = analyze_application(app)
+    runtime = ApplicationRuntime(app, dca_result=dca)
+    profiler = CausalPathProfiler(enumerate_causal_paths(app))
+    tracker = DirectCausalityTracker(profiler)
+
+    print("Driving 1000 visits: 69% purchases, 31% simple visits …")
+    for i in range(1000):
+        cls = purchase if i % 100 < 69 else simple
+        trace = runtime.execute_request(cls, sampled=True)
+        tracker.observe_all(trace.messages)
+
+    counts = profiler.counts(0.0)
+    probs = causal_probabilities(counts)
+    print("\nCausal probabilities (P_c, Section IV-C):")
+    for pid, p in sorted(probs.items(), key=lambda kv: -kv[1]):
+        if p > 0:
+            sig = profiler.known_paths()[pid]
+            label = "purchase" if "payment" in sig.components else "simple"
+            print(f"  {label:9s} path: P_c = {p:.2f}")
+
+    weights = component_weights(probs, profiler.known_paths())
+    print("\nPer-component causal weights (probability a request touches it):")
+    for comp, w in sorted(weights.items(), key=lambda kv: -kv[1]):
+        print(f"  {comp:18s} {w:.2f}")
+
+    print("\nWorkload doubles; the capacity model asks for 30 more machines.")
+    print("Causal-probability apportionment of the 30 machines:")
+    scalable = ["web-frontend", "price-db", "inventory", "customer-tracking", "ad-serving"]
+    alloc = proportional_allocation(30, weights, scalable)
+    total = 0
+    for comp in scalable:
+        print(f"  {comp:18s} +{alloc[comp]} machines  (weight {weights.get(comp, 0.0):.2f})")
+        total += alloc[comp]
+    print(f"  total: +{total} machines — versus +50 for CloudWatch's uniform 2×.")
+    print("\n(The paper's example: 10 front-end, 7+7 for the 0.69-weight tier,")
+    print(" 3+3 for the 0.31-weight tier = 30 machines, a 40% saving.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Selective scaling of *parts* of a component (Section II-A).
+
+A hurricane spikes the "hurricane" search term.  The spike lands on the
+few query-index shards that hold the term — scaling the whole component
+uniformly "leads to under-utilization because the resources added are
+not going where they are needed most."  This example traces the spike
+through hash-partitioned replicas, builds the per-shard causal profile,
+and compares selective vs uniform shard allocation.
+
+Run:  python examples/hot_shard_scaling.py
+"""
+
+from repro.apps import universal_search
+from repro.apps.universal_search import WEB_SHARDS
+from repro.core.shards import (
+    ShardProfile,
+    selective_shard_allocation,
+    shard_allocation_agility,
+    shard_weights,
+    uniform_shard_allocation,
+)
+from repro.sim.replicas import ReplicaSpec, ReplicatedApplicationRuntime
+from repro.workloads.generator import RequestClass
+
+NODE_CAPACITY = 1_875.0
+QUERY_COST = 22.0
+
+
+def main() -> None:
+    app = universal_search.build()
+    runtime = ReplicatedApplicationRuntime(
+        app, {"query-index": ReplicaSpec(count=WEB_SHARDS, routing_field="shard")}
+    )
+
+    hurricane = RequestClass("hot", "search", {"kind": "news", "terms": "hurricane"})
+    broad = RequestClass("broad", "search", {"kind": "web", "terms": "weather"})
+
+    print("Tracing 300 searches: 70% hurricane-news spike, 30% broad web …")
+    profile = ShardProfile()
+    for i in range(300):
+        cls = hurricane if i % 10 < 7 else broad
+        profile.observe(runtime.execute_request(cls))
+
+    weights = shard_weights(profile, "query-index")
+    demand = [c * QUERY_COST for c in profile.counts["query-index"]]
+    budget = max(WEB_SHARDS, int(sum(demand) / (NODE_CAPACITY * 0.75)) + WEB_SHARDS // 2)
+
+    selective = selective_shard_allocation(budget, weights)
+    uniform = uniform_shard_allocation(budget, WEB_SHARDS)
+
+    print(f"\nPer-shard causal profile of the query index ({budget}-node budget):")
+    print(f"  {'shard':>5s} {'traffic':>8s} {'weight':>7s} {'selective':>10s} {'uniform':>8s}")
+    for idx, (w, sel, uni) in enumerate(zip(weights, selective, uniform)):
+        bar = "#" * int(round(w * 30))
+        print(f"  {idx:5d} {profile.counts['query-index'][idx]:8d} {w:7.2f} "
+              f"{sel:10d} {uni:8d}  {bar}")
+
+    sel_excess, sel_short = shard_allocation_agility(selective, demand, NODE_CAPACITY)
+    uni_excess, uni_short = shard_allocation_agility(uniform, demand, NODE_CAPACITY)
+    print("\nShard-level provisioning efficacy (node units, lower is better):")
+    print(f"  selective: excess {sel_excess:.0f}, shortage {sel_short:.0f} "
+          f"→ agility {sel_excess + sel_short:.0f}")
+    print(f"  uniform  : excess {uni_excess:.0f}, shortage {uni_short:.0f} "
+          f"→ agility {uni_excess + uni_short:.0f}")
+    print("\nUniform scaling starves the hot shards while idling the cold ones;")
+    print("the per-shard causal profile puts the machines where the spike is.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Hedwig pub/sub: sampling levels and the overhead/fidelity trade-off.
+
+Traces a publish storm at DCA-5/10/20/100% sampling and shows RQ1/RQ4 in
+miniature: instrumentation overhead grows with the sampling rate while
+the causal-path profile converges to the true mix — the sweet spot is
+where the profile is accurate *enough*.
+
+Run:  python examples/pubsub_fanout.py
+"""
+
+from repro.apps import hedwig
+from repro.apps.catalog import load_scenario
+from repro.core.causal_graph import DirectCausalityTracker
+from repro.core.dca import analyze_application
+from repro.core.paths import enumerate_causal_paths
+from repro.core.probability import causal_probabilities, request_weights
+from repro.core.sampling import RequestSampler
+from repro.profiling.profiler import CausalPathProfiler
+from repro.sim.runtime import ApplicationRuntime
+
+TRUE_MIX = {"publish": 0.55, "subscribe": 0.20, "unsubscribe": 0.05, "consume": 0.20}
+REQUESTS = 2_000
+
+
+def run_at_rate(scenario, rate: int) -> None:
+    app = scenario.app
+    runtime = ApplicationRuntime(
+        app,
+        dca_result=analyze_application(app),
+        overhead_model=scenario.overhead_model,
+        sampling_rate=rate,
+    )
+    profiler = CausalPathProfiler(enumerate_causal_paths(app))
+    tracker = DirectCausalityTracker(profiler)
+    sampler = RequestSampler(rate, num_front_ends=scenario.num_front_ends, seed=1)
+
+    classes = {c.name: c for c in hedwig.request_classes()}
+    bounds = []
+    acc = 0.0
+    for name, share in TRUE_MIX.items():
+        acc += share
+        bounds.append((acc, name))
+
+    base_ms = 0.0
+    instr_ms = 0.0
+    for i in range(REQUESTS):
+        point = (i % 100) / 100.0
+        name = next(n for bound, n in bounds if point < bound)
+        sampled = sampler.should_sample(i % scenario.num_front_ends)
+        trace = runtime.execute_request(classes[name], sampled=sampled)
+        base_ms += sum(
+            msgs * app.components[c].service_cost
+            for c, msgs in trace.component_messages.items()
+        )
+        instr_ms += sum(trace.component_instr_ms.values())
+        if sampled:
+            tracker.observe_all(trace.messages)
+
+    probs = causal_probabilities(profiler.counts(0.0))
+    observed = request_weights(probs, profiler.known_paths())
+    # publish share estimate: pub_request paths' probability mass.
+    pub_estimate = observed.get("pub_request", 0.0)
+    error = abs(pub_estimate - TRUE_MIX["publish"])
+    overhead = 100.0 * instr_ms / base_ms
+    print(
+        f"  DCA-{int(rate * 100):3d}%  overhead {overhead:5.2f}%   "
+        f"publish-share estimate {pub_estimate:.3f} (true 0.550, err {error:.3f})   "
+        f"paths traced {tracker.completed_paths}"
+    )
+
+
+def main() -> None:
+    scenario = load_scenario("hedwig")
+    print(f"Tracing {REQUESTS} pub/sub requests (55% publish, fan-out "
+          f"{hedwig.DELIVERY_FANOUT} subscribers per publish) at four sampling levels:\n")
+    for rate in (0.05, 0.10, 0.20, 1.0):
+        run_at_rate(scenario, rate)
+    print(
+        "\nOverhead climbs with the sampling rate while the profile error is"
+        "\nalready small at 10% — the RQ4 sweet spot the paper reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

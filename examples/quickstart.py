@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: Direct Causality Analysis on the paper's Fig. 4 example.
+
+Walks the full DCA pipeline on a two-component application:
+
+1. define components in the IR;
+2. run the static analysis (backward/forward slicing → V_out, V_in, V_tr);
+3. execute instrumented handlers and watch provenance identify that
+   ``msg1[x:150]`` and ``msg2[y:200]`` directly caused ``msg3[s:22500]``;
+4. enumerate the static causal paths the profiler is seeded with.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import fig4
+from repro.core.dca import analyze_application
+from repro.core.instrument import InstrumentedComponent
+from repro.core.paths import enumerate_causal_paths
+from repro.lang.ir import EXTERNAL
+from repro.lang.message import Message, UidFactory
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Step 1 — build the Fig. 4 application (Comp1, Comp2)")
+    app = fig4.build()
+    for name, comp in sorted(app.components.items()):
+        print(f"  {name}: state={sorted(comp.state)}, handles={sorted(comp.handlers)}")
+
+    print()
+    print("Step 2 — static Direct Causality Analysis")
+    dca = analyze_application(app)
+    for name, analysis in sorted(dca.per_component.items()):
+        print(f"  {name}:")
+        print(f"    V_out (influences some emission) = {sorted(analysis.v_out) or '∅'}")
+        for msg_type, v_in in sorted(analysis.v_in.items()):
+            print(f"    V_in[{msg_type}] (writable from recv)  = {sorted(v_in) or '∅'}")
+        print(f"    V_tr  (tracked at runtime)       = {sorted(analysis.v_tr) or '∅'}")
+    print("  → exactly the paper's result: only Comp1.z needs tracking;")
+    print("    the writes to p and q are provably irrelevant to emissions.")
+
+    print()
+    print("Step 3 — instrumented execution (dynamic provenance)")
+    comp1 = InstrumentedComponent(
+        app.components["Comp1"], dca.per_component["Comp1"], app.library
+    )
+    state = comp1.new_state()
+    client = UidFactory("client.external", 0)
+    uids = UidFactory("10.0.0.1", 1)
+    msg1 = Message(client.next_uid(), "msg1", EXTERNAL, "Comp1", {"x": 150})
+    msg2 = Message(client.next_uid(), "msg2", EXTERNAL, "Comp1", {"y": 200})
+    print(f"  deliver msg1[x:150] as {msg1.uid}")
+    out1 = comp1.handle(state, msg1, uids)
+    print(f"    tracked writes: {out1.outcome.tracked_writes} "
+          f"(z only; p is untracked), instrumentation {out1.instrumentation_ms:.2f} ms")
+    print(f"  deliver msg2[y:200] as {msg2.uid}")
+    out2 = comp1.handle(state, msg2, uids)
+    (msg3,) = out2.outcome.emitted
+    print(f"  Comp1 emitted {msg3.msg_type}[s:{msg3.fields['s']}]")
+    print(f"    getInfo → direct causes: {sorted(str(u) for u in msg3.cause_uids)}")
+    assert msg3.cause_uids == frozenset({msg1.uid, msg2.uid})
+    print("  → both message instances are identified, per the paper's Fig. 4.")
+
+    print()
+    print("Step 4 — statically enumerated causal paths (profiler seeds)")
+    for req_type, paths in sorted(enumerate_causal_paths(app).items()):
+        for sig in paths:
+            print(f"  {sig.describe()}")
+    print("=" * 70)
+
+
+if __name__ == "__main__":
+    main()

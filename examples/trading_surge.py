@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Marketcetera under a trading surge: DCA-10% vs CloudWatch.
+
+Runs the trading platform through the first 200 minutes of the Fig. 7
+workload (the cyclic phase plus the beginning of the market-data storm)
+under both managers, and reports Agility, SLA violations, and where the
+machines actually went.
+
+Run:  python examples/trading_surge.py        (~15 s)
+"""
+
+from repro.apps.catalog import load_scenario
+from repro.evalx.agility import breakdown
+from repro.evalx.experiment import ExperimentConfig, run_manager
+from repro.evalx.reporting import sparkline
+
+
+def main() -> None:
+    scenario = load_scenario("marketcetera")
+    config = ExperimentConfig(duration_minutes=200)
+
+    print("Simulating 200 minutes of the Fig. 7 workload on the trading platform …")
+    results = {
+        name: run_manager(scenario, name, ExperimentConfig(duration_minutes=200))
+        for name in ("CloudWatch", "DCA-10%")
+    }
+
+    print("\nWorkload (requests/min):")
+    series = [v for _, v in results["DCA-10%"].workload_series()]
+    print("  " + sparkline(series, width=80))
+
+    print("\nAgility over time (lower is better):")
+    for name, result in results.items():
+        series = [v for _, v in result.agility_series()]
+        print(f"  {name:12s} {sparkline(series, width=70)}")
+
+    print("\nHeadline metrics:")
+    header = f"  {'manager':12s} {'agility':>8s} {'excess':>8s} {'shortage':>9s} {'SLA viol.':>10s}"
+    print(header)
+    for name, result in results.items():
+        b = breakdown(result)
+        print(
+            f"  {name:12s} {result.agility():8.2f} {b.mean_excess:8.2f} "
+            f"{b.mean_shortage:9.2f} {result.sla_violation_percent():9.2f}%"
+        )
+
+    print("\nMean provisioned nodes per component (last 50 minutes):")
+    comps = sorted(scenario.app.components)
+    print(f"  {'component':18s} {'req_min':>8s} {'CloudWatch':>11s} {'DCA-10%':>9s}")
+    for comp in comps:
+        req = sum(
+            r.components[comp].req_min_nodes for r in results["DCA-10%"].records[-50:]
+        ) / 50
+        row = [req]
+        for name in ("CloudWatch", "DCA-10%"):
+            prov = sum(
+                r.components[comp].provisioned_nodes for r in results[name].records[-50:]
+            ) / 50
+            row.append(prov)
+        print(f"  {comp:18s} {row[0]:8.1f} {row[1]:11.1f} {row[2]:9.1f}")
+
+    cw, dca = results["CloudWatch"].agility(), results["DCA-10%"].agility()
+    print(f"\nDCA-10% improves agility {cw / max(dca, 1e-9):.1f}× over CloudWatch here —")
+    print("the causal profile routes capacity to the market-data path as the")
+    print("storm builds, while CloudWatch scales every tier by the same factor.")
+
+
+if __name__ == "__main__":
+    main()

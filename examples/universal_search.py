@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Universal Search (Fig. 1): hot causal paths under an election spike.
+
+Shows the paper's Section II-A motivation concretely: a news spike loads
+the news service and a *narrow* slice of the query index, so uniform
+whole-application scaling wastes machines, while causal-path profiles
+pinpoint where the extra load actually lands.
+
+Run:  python examples/universal_search.py
+"""
+
+from repro.apps import universal_search
+from repro.core.causal_graph import DirectCausalityTracker
+from repro.core.dca import analyze_application
+from repro.core.paths import enumerate_causal_paths
+from repro.core.probability import causal_probabilities, component_weights
+from repro.profiling.profiler import CausalPathProfiler
+from repro.sim.runtime import ApplicationRuntime
+
+
+def profile_mix(app, runtime, mix, total=600):
+    """Trace ``total`` requests with the given class mix; return weights."""
+    profiler = CausalPathProfiler(enumerate_causal_paths(app))
+    tracker = DirectCausalityTracker(profiler)
+    classes = {c.name: c for c in universal_search.request_classes()}
+    cumulative = []
+    acc = 0.0
+    for name, share in mix.items():
+        acc += share
+        cumulative.append((acc, classes[name]))
+    for i in range(total):
+        point = (i % 100) / 100.0
+        cls = next(c for bound, c in cumulative if point < bound)
+        trace = runtime.execute_request(cls, sampled=True)
+        tracker.observe_all(trace.messages)
+    probs = causal_probabilities(profiler.counts(0.0))
+    return component_weights(probs, profiler.known_paths())
+
+
+def show(title, weights):
+    print(f"\n{title}")
+    for comp, w in sorted(weights.items(), key=lambda kv: -kv[1]):
+        bar = "#" * int(round(w * 40))
+        print(f"  {comp:15s} {w:5.2f} {bar}")
+
+
+def main() -> None:
+    app = universal_search.build()
+    runtime = ApplicationRuntime(app, dca_result=analyze_application(app))
+
+    normal = {"web_search": 0.70, "news_search": 0.20, "image_search": 0.10}
+    spike = {"web_search": 0.30, "news_search": 0.60, "image_search": 0.10}
+
+    weights_normal = profile_mix(app, runtime, normal)
+    weights_spike = profile_mix(app, runtime, spike)
+
+    show("Normal mix (70% web / 20% news / 10% image) — causal weights:", weights_normal)
+    show("Election spike (60% news) — causal weights:", weights_spike)
+
+    print("\nWhere should the next machines go? (weight change under the spike)")
+    for comp in sorted(set(weights_normal) | set(weights_spike)):
+        before = weights_normal.get(comp, 0.0)
+        after = weights_spike.get(comp, 0.0)
+        delta = after - before
+        marker = "▲" if delta > 0.05 else ("▼" if delta < -0.05 else " ")
+        print(f"  {marker} {comp:15s} {before:5.2f} → {after:5.2f}")
+    print(
+        "\nExternal metrics see only 'more traffic'; the causal profile shows the"
+        "\nspike lands on news-service (and barely on ads/spell-check) — the"
+        "\npaper's argument for selective elastic scaling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Synthetic applications modelling the paper's evaluation subjects."""
+
+from repro.apps import ecommerce, fig4, hedwig, marketcetera, universal_search, zookeeper
+
+__all__ = [
+    "ecommerce",
+    "fig4",
+    "hedwig",
+    "marketcetera",
+    "universal_search",
+    "zookeeper",
+]

@@ -1,0 +1,112 @@
+"""Multi-tiered e-commerce store (Fig. 2 of the paper).
+
+"A simple visit to the store will impact the web front-end, product
+database, customer tracking and ad serving components.  However, a
+purchase will impact the payment processing and order fulfillment
+components."  The two request classes exercise the two conditional
+flows:
+
+* ``Simple``:   frontend → customer-tracking → ad-serving → price-db
+* ``Purchase``: frontend → payment → fulfillment → inventory → price-db
+
+During a sale the ``Purchase`` path is exercised heavily, and
+"components serving that path should be scaled proportionally more …
+without worrying much about customer tracking or ad serving" — the
+paper's worked causal-probability example (0.69 / 0.31 → 1.69× / 1.31×).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.builder import AppBuilder, ComponentBuilder, call, field, var
+from repro.lang.ir import CLIENT, Application
+from repro.workloads.generator import RequestClass
+
+
+def build() -> Application:
+    """Build the e-commerce application."""
+    frontend = (
+        ComponentBuilder("web-frontend", service_cost=10.0)
+        .state("sessions", 0)
+    )
+    with frontend.on("visit", "m") as h:
+        h.assign("sessions", var("sessions") + 1)
+        with h.if_(field("m", "kind").eq("purchase")) as branch:
+            branch.then.send(
+                "charge_card", "payment", {"amount": field("m", "amount"), "sku": field("m", "sku")}
+            )
+            branch.orelse.send("track_visit", "customer-tracking", {"page": field("m", "page")})
+
+    payment = (
+        ComponentBuilder("payment", service_cost=35.0)
+        .state("charged_total", 0)
+        .state("fraud_threshold", 5_000)
+    )
+    with payment.on("charge_card", "m") as h:
+        h.assign("charged_total", var("charged_total") + field("m", "amount"))
+        with h.if_(field("m", "amount") < var("fraud_threshold")) as ok:
+            ok.then.send("fulfill_order", "fulfillment", {"sku": field("m", "sku")})
+            ok.orelse.send("declined", CLIENT, {"reason": "fraud-review"})
+
+    fulfillment = (
+        ComponentBuilder("fulfillment", service_cost=28.0)
+        .state("orders_open", 0)
+    )
+    with fulfillment.on("fulfill_order", "m") as h:
+        h.assign("orders_open", var("orders_open") + 1)
+        h.send("reserve_stock", "inventory", {"sku": field("m", "sku")})
+
+    inventory = (
+        ComponentBuilder("inventory", service_cost=20.0)
+        .state("stock_delta", 0)
+    )
+    with inventory.on("reserve_stock", "m") as h:
+        h.assign("stock_delta", var("stock_delta") - 1)
+        h.send("price_lookup", "price-db", {"sku": field("m", "sku"), "purpose": "invoice"})
+
+    tracking = (
+        ComponentBuilder("customer-tracking", service_cost=9.0)
+        .state("events", 0)
+    )
+    with tracking.on("track_visit", "m") as h:
+        h.assign("events", var("events") + 1)
+        h.send("serve_ads", "ad-serving", {"page": field("m", "page")})
+
+    ads = (
+        ComponentBuilder("ad-serving", service_cost=14.0)
+        .state("impressions", 0)
+    )
+    with ads.on("serve_ads", "m") as h:
+        h.assign("impressions", var("impressions") + 1)
+        h.send("price_lookup", "price-db", {"sku": field("m", "page"), "purpose": "display"})
+
+    price_db = (
+        ComponentBuilder("price-db", service_cost=16.0)
+        .state("lookups", 0)
+    )
+    with price_db.on("price_lookup", "m") as h:
+        h.assign("lookups", var("lookups") + 1)
+        h.assign("price", call("hash_bucket", field("m", "sku"), 500) + 1)
+        h.send("page_response", CLIENT, {"price": var("price"), "purpose": field("m", "purpose")})
+
+    return (
+        AppBuilder("ecommerce")
+        .component(frontend)
+        .component(payment)
+        .component(fulfillment)
+        .component(inventory)
+        .component(tracking)
+        .component(ads)
+        .component(price_db)
+        .entry("visit", "web-frontend")
+        .build()
+    )
+
+
+def request_classes() -> List[RequestClass]:
+    """The two visit classes of Fig. 2."""
+    return [
+        RequestClass("simple", "visit", {"kind": "simple", "page": "landing", "amount": 0, "sku": "none"}),
+        RequestClass("purchase", "visit", {"kind": "purchase", "page": "checkout", "amount": 120, "sku": "watch-42"}),
+    ]

@@ -1,0 +1,168 @@
+"""Apache Hedwig-like topic-based publish/subscribe system (Section V).
+
+Hedwig "is a topic-based publish-subscribe system designed for reliable
+and guaranteed at-most once delivery of messages from publishers to
+subscribers".  The reproduction models its tiers as six components:
+
+* ``hub``                  — front end terminating client connections;
+* ``topic-manager``        — topic ownership / routing;
+* ``persistence``          — write-ahead log of published messages (the
+  BookKeeper analogue; the most expensive tier);
+* ``delivery``             — pushes messages to subscribers (fan-out);
+* ``subscription-manager`` — subscribe/unsubscribe bookkeeping;
+* ``metadata-store``       — topic/subscription metadata.
+
+Request classes: ``publish`` (hot path through persistence + delivery
+fan-out), ``subscribe`` / ``unsubscribe`` (metadata path), and
+``consume`` (backlog fetch through persistence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lang.builder import AppBuilder, ComponentBuilder, call, field, var
+from repro.lang.ir import CLIENT, Application
+from repro.sim.cluster import DeploymentSpec
+from repro.workloads.generator import RequestClass
+from repro.workloads.patterns import MixPhase, StepMixSchedule
+
+#: Subscriber fan-out per published message (scaled-down).
+DELIVERY_FANOUT = 5
+
+
+def build() -> Application:
+    """Build the pub/sub application."""
+    hub = (
+        ComponentBuilder("hub", service_cost=7.0)
+        .state("connections", 0)
+    )
+    with hub.on("pub_request", "m") as h:
+        h.assign("connections", var("connections") + 1)
+        h.send("own_topic", "topic-manager", {"topic": field("m", "topic"), "payload": field("m", "payload")})
+    with hub.on("sub_request", "m") as h:
+        h.assign("connections", var("connections") + 1)
+        with h.if_(field("m", "action").eq("subscribe")) as sub:
+            sub.then.send("add_subscription", "subscription-manager", {"topic": field("m", "topic")})
+            sub.orelse.send("drop_subscription", "subscription-manager", {"topic": field("m", "topic")})
+    with hub.on("consume_request", "m") as h:
+        h.send("fetch_backlog", "delivery", {"topic": field("m", "topic"), "cursor": field("m", "cursor")})
+
+    topic_manager = (
+        ComponentBuilder("topic-manager", service_cost=12.0)
+        .state("owned_topics", 0)
+    )
+    with topic_manager.on("own_topic", "m") as h:
+        h.assign("owned_topics", var("owned_topics") % 1_000 + 1)
+        h.send(
+            "persist_message",
+            "persistence",
+            {"topic": field("m", "topic"), "payload": field("m", "payload")},
+        )
+
+    persistence = (
+        ComponentBuilder("persistence", service_cost=42.0)
+        .state("log_offset", 0)
+    )
+    with persistence.on("persist_message", "m") as h:
+        h.assign("log_offset", var("log_offset") + 1)
+        h.send(
+            "deliver_message",
+            "delivery",
+            {"topic": field("m", "topic"), "payload": field("m", "payload"), "offset": var("log_offset")},
+        )
+    with persistence.on("read_backlog", "m") as h:
+        h.assign("entries", call("min", 10, field("m", "cursor") + 1))
+        h.send("backlog_page", CLIENT, {"topic": field("m", "topic"), "entries": var("entries")})
+
+    delivery = (
+        ComponentBuilder("delivery", service_cost=18.0)
+        .state("delivered", 0)
+        .state("fanout", DELIVERY_FANOUT)
+    )
+    with delivery.on("deliver_message", "m") as h:
+        h.assign("k", 0)
+        with h.while_(var("k") < var("fanout")) as loop:
+            loop.body.send(
+                "push_message",
+                CLIENT,
+                {"topic": field("m", "topic"), "offset": field("m", "offset"), "subscriber": var("k")},
+            )
+            loop.body.assign("k", var("k") + 1)
+        h.assign("delivered", var("delivered") + var("fanout"))
+    with delivery.on("fetch_backlog", "m") as h:
+        h.send("read_backlog", "persistence", {"topic": field("m", "topic"), "cursor": field("m", "cursor")})
+
+    sub_manager = (
+        ComponentBuilder("subscription-manager", service_cost=14.0)
+        .state("active_subs", 0)
+    )
+    with sub_manager.on("add_subscription", "m") as h:
+        h.assign("active_subs", var("active_subs") + 1)
+        h.send("write_meta", "metadata-store", {"topic": field("m", "topic"), "op": "add"})
+    with sub_manager.on("drop_subscription", "m") as h:
+        h.assign("active_subs", call("max", 0, var("active_subs") - 1))
+        h.send("write_meta", "metadata-store", {"topic": field("m", "topic"), "op": "drop"})
+
+    metadata = (
+        ComponentBuilder("metadata-store", service_cost=10.0)
+        .state("version", 0)
+    )
+    with metadata.on("write_meta", "m") as h:
+        h.assign("version", var("version") + 1)
+        h.send("meta_ack", CLIENT, {"topic": field("m", "topic"), "version": var("version")})
+
+    return (
+        AppBuilder("hedwig")
+        .component(hub)
+        .component(topic_manager)
+        .component(persistence)
+        .component(delivery)
+        .component(sub_manager)
+        .component(metadata)
+        .entry("pub_request", "hub")
+        .entry("sub_request", "hub")
+        .entry("consume_request", "hub")
+        .build()
+    )
+
+
+def request_classes() -> List[RequestClass]:
+    """Publish / subscribe / unsubscribe / consume request classes."""
+    return [
+        RequestClass("publish", "pub_request", {"topic": "alerts", "payload": "hello"}),
+        RequestClass("subscribe", "sub_request", {"topic": "alerts", "action": "subscribe"}),
+        RequestClass("unsubscribe", "sub_request", {"topic": "alerts", "action": "unsubscribe"}),
+        RequestClass("consume", "consume_request", {"topic": "alerts", "cursor": 3}),
+    ]
+
+
+def deployments() -> Dict[str, DeploymentSpec]:
+    """Initial replica-group sizing (mid-load operating point)."""
+    return {
+        "hub": DeploymentSpec(initial_nodes=3),
+        "topic-manager": DeploymentSpec(initial_nodes=3),
+        "persistence": DeploymentSpec(initial_nodes=9),
+        "delivery": DeploymentSpec(initial_nodes=5),
+        "subscription-manager": DeploymentSpec(initial_nodes=2),
+        "metadata-store": DeploymentSpec(initial_nodes=2),
+    }
+
+
+def mix_schedule() -> StepMixSchedule:
+    """Hot-path shifts: publish storm, churn phase, consume-heavy tail."""
+    return StepMixSchedule(
+        [
+            MixPhase(0.0, {"publish": 5, "subscribe": 2, "unsubscribe": 1, "consume": 2}),
+            MixPhase(75.0, {"publish": 2, "subscribe": 4, "unsubscribe": 3, "consume": 1}),
+            MixPhase(150.0, {"publish": 7, "subscribe": 1, "unsubscribe": 1, "consume": 1}),
+            MixPhase(225.0, {"publish": 3, "subscribe": 1, "unsubscribe": 1, "consume": 5}),
+            MixPhase(300.0, {"publish": 6, "subscribe": 2, "unsubscribe": 1, "consume": 1}),
+            MixPhase(375.0, {"publish": 2, "subscribe": 3, "unsubscribe": 2, "consume": 3}),
+        ]
+    )
+
+
+def magnitudes() -> Tuple[float, float]:
+    """Points A and B of Fig. 7 for this benchmark (requests/min)."""
+    return (234.0, 940.0)

@@ -1,0 +1,235 @@
+"""Marketcetera-like algorithmic trading platform (Section V of the paper).
+
+Marketcetera is "an NYSE-recommended fault-tolerant algorithmic trading
+platform".  The reproduction models its tier structure as eight
+components behind a FIX gateway front end:
+
+* ``fix-gateway``      — parses FIX requests, dispatches by kind;
+* ``risk-engine``      — pre-trade limit checks (exposure ∈ V_tr: the
+  running exposure influences whether orders are routed);
+* ``order-router``     — venue selection;
+* ``matching-engine``  — order matching / execution;
+* ``market-data``      — quote snapshots and trade ticks;
+* ``position-tracker`` — post-trade position updates;
+* ``settlement``       — clearing and confirmation to the client;
+* ``strategy-engine``  — algorithmic strategies that themselves emit
+  orders (a *conditional*, state-dependent causal path).
+
+Request classes: ``order_submit``, ``order_cancel``,
+``market_data_request``, ``strategy_eval`` — each inducing a different
+causal path, so a trading surge loads a very different component subset
+than a market-data storm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lang.builder import AppBuilder, ComponentBuilder, call, field, var
+from repro.lang.ir import CLIENT, Application
+from repro.sim.cluster import DeploymentSpec
+from repro.workloads.generator import RequestClass
+from repro.workloads.patterns import MixPhase, StepMixSchedule
+
+#: Market-data snapshot chunks streamed per request.
+SNAPSHOT_CHUNKS = 4
+
+
+def build() -> Application:
+    """Build the trading-platform application."""
+    gateway = (
+        ComponentBuilder("fix-gateway", service_cost=8.0)
+        .state("session_seq", 0)
+    )
+    with gateway.on("fix_request", "m") as h:
+        h.assign("session_seq", var("session_seq") + 1)
+        with h.if_(field("m", "kind").eq("submit")) as submit:
+            submit.then.send(
+                "check_risk",
+                "risk-engine",
+                {"symbol": field("m", "symbol"), "qty": field("m", "qty"), "origin": "client"},
+            )
+            with submit.orelse.if_(field("m", "kind").eq("cancel")) as cancel:
+                cancel.then.send("route_cancel", "order-router", {"order_id": field("m", "order_id")})
+                with cancel.orelse.if_(field("m", "kind").eq("mdata")) as mdata:
+                    mdata.then.send("md_request", "market-data", {"symbol": field("m", "symbol")})
+                    mdata.orelse.send(
+                        "evaluate", "strategy-engine", {"signal": field("m", "signal")}
+                    )
+
+    risk = (
+        ComponentBuilder("risk-engine", service_cost=26.0)
+        .state("exposure", 0)
+        .state("exposure_limit", 1_000_000)
+        .state("checks_done", 0)
+    )
+    with risk.on("check_risk", "m") as h:
+        h.assign("checks_done", var("checks_done") + 1)
+        h.assign("exposure", var("exposure") % 900_000 + field("m", "qty"))
+        with h.if_(var("exposure") < var("exposure_limit")) as ok:
+            ok.then.send(
+                "route_order",
+                "order-router",
+                {"symbol": field("m", "symbol"), "qty": field("m", "qty")},
+            )
+            ok.orelse.send("order_rejected", CLIENT, {"reason": "risk-limit"})
+
+    router = (
+        ComponentBuilder("order-router", service_cost=14.0)
+        .state("venue_cursor", 0)
+    )
+    with router.on("route_order", "m") as h:
+        h.assign("venue_cursor", (var("venue_cursor") + 1) % 4)
+        h.send(
+            "match_order",
+            "matching-engine",
+            {"symbol": field("m", "symbol"), "qty": field("m", "qty"), "venue": var("venue_cursor")},
+        )
+    with router.on("route_cancel", "m") as h:
+        h.send("cancel_order", "matching-engine", {"order_id": field("m", "order_id")})
+
+    matching = (
+        ComponentBuilder("matching-engine", service_cost=38.0)
+        .state("book_depth", 100)
+        .state("fills", 0)
+    )
+    with matching.on("match_order", "m") as h:
+        h.assign("fills", var("fills") + 1)
+        h.assign("book_depth", call("max", 1, var("book_depth") - 1))
+        h.send(
+            "update_position",
+            "position-tracker",
+            {"symbol": field("m", "symbol"), "qty": field("m", "qty")},
+        )
+        h.send("trade_tick", "market-data", {"symbol": field("m", "symbol"), "qty": field("m", "qty")})
+    with matching.on("cancel_order", "m") as h:
+        h.assign("book_depth", var("book_depth") + 1)
+        h.send("cancel_ack", CLIENT, {"order_id": field("m", "order_id")})
+
+    market_data = (
+        ComponentBuilder("market-data", service_cost=10.0)
+        .state("last_price", 100)
+        .state("tick_count", 0)
+    )
+    with market_data.on("md_request", "m") as h:
+        h.assign("chunk", 0)
+        with h.while_(var("chunk") < SNAPSHOT_CHUNKS) as loop:
+            loop.body.send(
+                "md_snapshot",
+                CLIENT,
+                {"symbol": field("m", "symbol"), "price": var("last_price"), "chunk": var("chunk")},
+            )
+            loop.body.assign("chunk", var("chunk") + 1)
+    with market_data.on("trade_tick", "m") as h:
+        h.assign("tick_count", var("tick_count") + 1)
+        h.assign("last_price", call("max", 1, var("last_price") + field("m", "qty") % 3 - 1))
+
+    position = (
+        ComponentBuilder("position-tracker", service_cost=12.0)
+        .state("net_position", 0)
+    )
+    with position.on("update_position", "m") as h:
+        h.assign("net_position", var("net_position") + field("m", "qty"))
+        h.send("settle_trade", "settlement", {"symbol": field("m", "symbol"), "qty": field("m", "qty")})
+
+    settlement = (
+        ComponentBuilder("settlement", service_cost=22.0)
+        .state("settled", 0)
+    )
+    with settlement.on("settle_trade", "m") as h:
+        h.assign("settled", var("settled") + 1)
+        h.send("execution_report", CLIENT, {"symbol": field("m", "symbol"), "qty": field("m", "qty")})
+
+    strategy = (
+        ComponentBuilder("strategy-engine", service_cost=30.0)
+        .state("momentum", 0)
+        .state("eval_count", 0)
+    )
+    with strategy.on("evaluate", "m") as h:
+        h.assign("eval_count", var("eval_count") + 1)
+        h.assign("momentum", var("momentum") % 7 + field("m", "signal"))
+        with h.if_(var("momentum") > 2) as hot:
+            hot.then.send(
+                "check_risk",
+                "risk-engine",
+                {"symbol": "ALGO", "qty": var("momentum") * 10, "origin": "strategy"},
+            )
+            hot.orelse.send("eval_report", CLIENT, {"decision": "hold"})
+
+    return (
+        AppBuilder("marketcetera")
+        .component(gateway)
+        .component(risk)
+        .component(router)
+        .component(matching)
+        .component(market_data)
+        .component(position)
+        .component(settlement)
+        .component(strategy)
+        .entry("fix_request", "fix-gateway")
+        .build()
+    )
+
+
+def request_classes() -> List[RequestClass]:
+    """The four FIX request classes."""
+    return [
+        RequestClass(
+            "order_submit",
+            "fix_request",
+            {"kind": "submit", "symbol": "IBM", "qty": 100, "order_id": 0, "signal": 0},
+        ),
+        RequestClass(
+            "order_cancel",
+            "fix_request",
+            {"kind": "cancel", "symbol": "IBM", "qty": 0, "order_id": 17, "signal": 0},
+        ),
+        RequestClass(
+            "market_data_request",
+            "fix_request",
+            {"kind": "mdata", "symbol": "AAPL", "qty": 0, "order_id": 0, "signal": 0},
+        ),
+        RequestClass(
+            "strategy_eval",
+            "fix_request",
+            {"kind": "algo", "symbol": "ALGO", "qty": 0, "order_id": 0, "signal": 5},
+        ),
+    ]
+
+
+def deployments() -> Dict[str, DeploymentSpec]:
+    """Initial replica-group sizing (mid-load operating point)."""
+    return {
+        "fix-gateway": DeploymentSpec(initial_nodes=3),
+        "risk-engine": DeploymentSpec(initial_nodes=6),
+        "order-router": DeploymentSpec(initial_nodes=3),
+        "matching-engine": DeploymentSpec(initial_nodes=8),
+        "market-data": DeploymentSpec(initial_nodes=3),
+        "position-tracker": DeploymentSpec(initial_nodes=3),
+        "settlement": DeploymentSpec(initial_nodes=5),
+        "strategy-engine": DeploymentSpec(initial_nodes=4),
+    }
+
+
+def mix_schedule() -> StepMixSchedule:
+    """Hot causal paths shift across the 450-minute run.
+
+    Phase 2 is a market-data storm, phase 3 a trading surge (heavy
+    ``order_submit``, analogous to the Thanksgiving purchase surge of
+    Fig. 2), phase 4 algorithmic-strategy-heavy.
+    """
+    return StepMixSchedule(
+        [
+            MixPhase(0.0, {"order_submit": 3, "order_cancel": 1, "market_data_request": 4, "strategy_eval": 2}),
+            MixPhase(75.0, {"order_submit": 1.5, "order_cancel": 1, "market_data_request": 7, "strategy_eval": 1}),
+            MixPhase(150.0, {"order_submit": 7, "order_cancel": 2, "market_data_request": 1.5, "strategy_eval": 1}),
+            MixPhase(225.0, {"order_submit": 2, "order_cancel": 1, "market_data_request": 2, "strategy_eval": 6}),
+            MixPhase(300.0, {"order_submit": 6, "order_cancel": 1, "market_data_request": 3, "strategy_eval": 1}),
+            MixPhase(375.0, {"order_submit": 1.5, "order_cancel": 1, "market_data_request": 6, "strategy_eval": 2}),
+        ]
+    )
+
+
+def magnitudes() -> Tuple[float, float]:
+    """Points A and B of Fig. 7 for this benchmark (requests/min)."""
+    return (210.0, 840.0)

@@ -1,0 +1,150 @@
+"""Universal Search (Fig. 1 of the paper).
+
+"A web-server/front-end service receives the search query and distributes
+it to many hundreds of query servers, each searching within its own
+partition/shard of the web index.  The query is also sent to a number of
+other sub-systems that process advertisements, check spelling, or look
+for specialized results … Results from all of these services are then
+aggregated by a separate service, and ranked …"
+
+Causal paths (request classes):
+
+* ``web`` queries: the blue S1…S9 path — frontend fans out to the query
+  index (one message per shard), ads and spell-check; results flow into
+  the aggregator, then the ranker, then back to the client.
+* ``news`` queries: the red R1…R7 path — frontend routes to the news
+  service and a narrower index scan, then aggregator → ranker → client.
+* ``image`` queries: a third, lighter specialised path.
+
+A workload spike on one class (e.g. an election spikes ``news``) loads a
+different subset of components — the paper's motivating argument for
+selective, causality-driven scaling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.builder import AppBuilder, ComponentBuilder, call, field, var
+from repro.lang.ir import CLIENT, Application
+from repro.workloads.generator import RequestClass
+
+#: Shard fan-out of a full web search (the paper's "many hundreds" scaled
+#: down so message-level traces stay cheap).
+WEB_SHARDS = 12
+#: Narrower index scan used by news queries.
+NEWS_SHARDS = 3
+
+
+def build() -> Application:
+    """Build the universal-search application."""
+    frontend = (
+        ComponentBuilder("frontend", service_cost=8.0)
+        .state("queries_served", 0)
+        .state("shard_count", WEB_SHARDS)
+        .state("news_shards", NEWS_SHARDS)
+    )
+    with frontend.on("search", "m") as h:
+        h.assign("queries_served", var("queries_served") + 1)
+        with h.if_(field("m", "kind").eq("web")) as web:
+            web.then.assign("i", 0)
+            with web.then.while_(var("i") < var("shard_count")) as loop:
+                loop.body.send("shard_query", "query-index", {"terms": field("m", "terms"), "shard": var("i")})
+                loop.body.assign("i", var("i") + 1)
+            web.then.send("ad_lookup", "ad-system", {"terms": field("m", "terms")})
+            web.then.send("spell_check", "spell-checker", {"terms": field("m", "terms")})
+            with web.orelse.if_(field("m", "kind").eq("news")) as news:
+                news.then.assign("j", 0)
+                with news.then.while_(var("j") < var("news_shards")) as loop:
+                    loop.body.send("shard_query", "query-index", {"terms": field("m", "terms"), "shard": var("j")})
+                    loop.body.assign("j", var("j") + 1)
+                news.then.send("news_scan", "news-service", {"terms": field("m", "terms")})
+                news.orelse.send("image_scan", "image-service", {"terms": field("m", "terms")})
+
+    query_index = (
+        ComponentBuilder("query-index", service_cost=22.0)
+        .state("index_version", 1)
+        .state("hits_total", 0)
+    )
+    with query_index.on("shard_query", "m") as h:
+        h.assign("score", call("hash_bucket", field("m", "terms"), 100) + var("index_version"))
+        h.assign("hits_total", var("hits_total") + 1)
+        h.send("shard_result", "aggregator", {"score": var("score"), "shard": field("m", "shard")})
+
+    ad_system = (
+        ComponentBuilder("ad-system", service_cost=15.0)
+        .state("revenue_bias", 3)
+    )
+    with ad_system.on("ad_lookup", "m") as h:
+        h.assign("bid", call("hash_bucket", field("m", "terms"), 50) + var("revenue_bias"))
+        h.send("ad_result", "aggregator", {"bid": var("bid")})
+
+    spell = ComponentBuilder("spell-checker", service_cost=6.0).state("dictionary_version", 2)
+    with spell.on("spell_check", "m") as h:
+        h.assign("suggestion", call("concat", field("m", "terms"), "?"))
+        h.send("spell_result", "aggregator", {"suggestion": var("suggestion")})
+
+    news = ComponentBuilder("news-service", service_cost=18.0).state("freshness", 5)
+    with news.on("news_scan", "m") as h:
+        h.assign("story_score", call("hash_bucket", field("m", "terms"), 30) + var("freshness"))
+        h.send("news_result", "aggregator", {"score": var("story_score")})
+
+    images = ComponentBuilder("image-service", service_cost=25.0).state("thumb_cache", 0)
+    with images.on("image_scan", "m") as h:
+        h.assign("thumb_cache", var("thumb_cache") + 1)
+        h.send("image_result", "aggregator", {"count": var("thumb_cache")})
+
+    aggregator = (
+        ComponentBuilder("aggregator", service_cost=12.0)
+        .state("partial_sum", 0)
+        .state("results_seen", 0)
+    )
+    # Partial results fold into the running sum; the per-class "last"
+    # result type (ads for web, the specialised service for news/image)
+    # triggers the single ranked-candidates emission — one response per
+    # request, as in the real system's gather phase.
+    with aggregator.on("shard_result", "m") as h:
+        h.assign("results_seen", var("results_seen") + 1)
+        h.assign("partial_sum", var("partial_sum") + field("m", "score"))
+    with aggregator.on("spell_result", "m") as h:
+        h.assign("results_seen", var("results_seen") + 1)
+    with aggregator.on("ad_result", "m") as h:
+        h.assign("results_seen", var("results_seen") + 1)
+        h.assign("partial_sum", var("partial_sum") + field("m", "bid"))
+        h.send("ranked_candidates", "ranker", {"sum": var("partial_sum")})
+    with aggregator.on("news_result", "m") as h:
+        h.assign("results_seen", var("results_seen") + 1)
+        h.assign("partial_sum", var("partial_sum") + field("m", "score"))
+        h.send("ranked_candidates", "ranker", {"sum": var("partial_sum")})
+    with aggregator.on("image_result", "m") as h:
+        h.assign("results_seen", var("results_seen") + 1)
+        h.assign("partial_sum", var("partial_sum") + field("m", "count"))
+        h.send("ranked_candidates", "ranker", {"sum": var("partial_sum")})
+
+    ranker = ComponentBuilder("ranker", service_cost=10.0).state("model_version", 7)
+    with ranker.on("ranked_candidates", "m") as h:
+        h.assign("final_score", field("m", "sum") * var("model_version"))
+        h.send("results_page", CLIENT, {"score": var("final_score")})
+
+    return (
+        AppBuilder("universal-search")
+        .component(frontend)
+        .component(query_index)
+        .component(ad_system)
+        .component(spell)
+        .component(news)
+        .component(images)
+        .component(aggregator)
+        .component(ranker)
+        .entry("search", "frontend")
+        .build()
+    )
+
+
+def request_classes() -> List[RequestClass]:
+    """The three query classes (web / news / image)."""
+    return [
+        RequestClass("web_search", "search", {"kind": "web", "terms": "apple watch"}),
+        RequestClass("news_search", "search", {"kind": "news", "terms": "election"}),
+        RequestClass("image_search", "search", {"kind": "image", "terms": "hurricane"}),
+    ]

@@ -1,0 +1,167 @@
+"""ZooKeeper-like coordination service (companion-TR experiment).
+
+ZooKeeper "is a distributed co-ordination service for datacenter
+applications, similar to Google's Chubby".  The reproduction models the
+coordination tiers as six components:
+
+* ``request-processor`` — front end; routes reads to local replicas and
+  writes to the leader;
+* ``replica-reader``    — serves linearisable-enough local reads;
+* ``leader``            — orders write transactions;
+* ``quorum-log``        — the replicated transaction log.  This is the
+  paper's Section II-C *concurrency* scenario: appends are serialised by
+  the quorum protocol, so the component has many causal paths **in** but
+  none out to other components, and elastic scaling beyond the quorum
+  size cannot improve throughput.  Its deployment carries
+  ``serial_limit=3``; DCA's structural rule
+  (:func:`repro.core.elasticity.detect_serialization_suspects`) flags it
+  and refuses to scale it, while CloudWatch pours machines into it.
+* ``watch-manager``     — fires data watches after commits;
+* ``session-manager``   — session lifecycle, snapshots to the log.
+
+Request classes: ``read`` (cheap, hot by default), ``write`` (quorum
+path), ``create_session``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lang.builder import AppBuilder, ComponentBuilder, call, field, var
+from repro.lang.ir import CLIENT, Application
+from repro.sim.cluster import DeploymentSpec
+from repro.workloads.generator import RequestClass
+from repro.workloads.patterns import MixPhase, StepMixSchedule
+
+#: Quorum size: appends per committed write.
+QUORUM = 3
+
+
+def build() -> Application:
+    """Build the coordination-service application."""
+    processor = (
+        ComponentBuilder("request-processor", service_cost=15.0)
+        .state("requests", 0)
+    )
+    with processor.on("zk_read", "m") as h:
+        h.assign("requests", var("requests") + 1)
+        h.send("serve_read", "replica-reader", {"path": field("m", "path")})
+    with processor.on("zk_write", "m") as h:
+        h.assign("requests", var("requests") + 1)
+        h.send("order_write", "leader", {"path": field("m", "path"), "data": field("m", "data")})
+    with processor.on("zk_session", "m") as h:
+        h.assign("requests", var("requests") + 1)
+        h.send("open_session", "session-manager", {"client_id": field("m", "client_id")})
+
+    reader = (
+        ComponentBuilder("replica-reader", service_cost=25.0)
+        .state("cache_version", 1)
+    )
+    with reader.on("serve_read", "m") as h:
+        h.assign("value", call("hash_bucket", field("m", "path"), 1_000) + var("cache_version"))
+        h.send("read_response", CLIENT, {"path": field("m", "path"), "value": var("value")})
+
+    leader = (
+        ComponentBuilder("leader", service_cost=50.0)
+        .state("zxid", 0)
+    )
+    with leader.on("order_write", "m") as h:
+        h.assign("zxid", var("zxid") + 1)
+        h.assign("r", 0)
+        with h.while_(var("r") < QUORUM) as loop:
+            loop.body.send(
+                "append_txn",
+                "quorum-log",
+                {"zxid": var("zxid"), "path": field("m", "path"), "replica": var("r")},
+            )
+            loop.body.assign("r", var("r") + 1)
+        h.send("commit_txn", "quorum-log", {"zxid": var("zxid")})
+        h.send("fire_watches", "watch-manager", {"path": field("m", "path"), "zxid": var("zxid")})
+        h.send("write_response", CLIENT, {"path": field("m", "path"), "zxid": var("zxid")})
+
+    quorum_log = (
+        ComponentBuilder("quorum-log", service_cost=2.5)
+        .state("last_zxid", 0)
+        .state("log_size", 0)
+    )
+    # The quorum log is a causal sink: appends and snapshots come in from
+    # the leader and the session manager, but nothing flows out to other
+    # components — the Section II-C signature of a serialised bottleneck.
+    with quorum_log.on("append_txn", "m") as h:
+        h.assign("last_zxid", call("max", var("last_zxid"), field("m", "zxid")))
+        h.assign("log_size", var("log_size") + 1)
+    with quorum_log.on("commit_txn", "m") as h:
+        h.assign("last_zxid", call("max", var("last_zxid"), field("m", "zxid")))
+    with quorum_log.on("log_snapshot", "m") as h:
+        h.assign("log_size", var("log_size") + 1)
+
+    watches = (
+        ComponentBuilder("watch-manager", service_cost=30.0)
+        .state("watch_count", 0)
+    )
+    with watches.on("fire_watches", "m") as h:
+        h.assign("watch_count", var("watch_count") % 10_000 + 1)
+        h.send("watch_event", CLIENT, {"path": field("m", "path"), "zxid": field("m", "zxid")})
+
+    sessions = (
+        ComponentBuilder("session-manager", service_cost=22.0)
+        .state("open_sessions", 0)
+    )
+    with sessions.on("open_session", "m") as h:
+        h.assign("open_sessions", var("open_sessions") + 1)
+        h.send("log_snapshot", "quorum-log", {"client_id": field("m", "client_id")})
+        h.send("session_response", CLIENT, {"client_id": field("m", "client_id")})
+
+    return (
+        AppBuilder("zookeeper")
+        .component(processor)
+        .component(reader)
+        .component(leader)
+        .component(quorum_log)
+        .component(watches)
+        .component(sessions)
+        .entry("zk_read", "request-processor")
+        .entry("zk_write", "request-processor")
+        .entry("zk_session", "request-processor")
+        .build()
+    )
+
+
+def request_classes() -> List[RequestClass]:
+    """Read / write / session request classes."""
+    return [
+        RequestClass("read", "zk_read", {"path": "/config/app1"}),
+        RequestClass("write", "zk_write", {"path": "/locks/job7", "data": "owner=w3"}),
+        RequestClass("create_session", "zk_session", {"client_id": 42}),
+    ]
+
+
+def deployments() -> Dict[str, DeploymentSpec]:
+    """Initial sizing; the quorum log is capped at the quorum size."""
+    return {
+        "request-processor": DeploymentSpec(initial_nodes=4, max_nodes=80),
+        "replica-reader": DeploymentSpec(initial_nodes=8, max_nodes=80),
+        "leader": DeploymentSpec(initial_nodes=6, max_nodes=80),
+        "quorum-log": DeploymentSpec(initial_nodes=5, serial_limit=5, max_nodes=80),
+        "watch-manager": DeploymentSpec(initial_nodes=4, max_nodes=80),
+        "session-manager": DeploymentSpec(initial_nodes=2, max_nodes=80),
+    }
+
+
+def mix_schedule() -> StepMixSchedule:
+    """Read-heavy baseline with a write surge (contention phase)."""
+    return StepMixSchedule(
+        [
+            MixPhase(0.0, {"read": 8, "write": 2, "create_session": 1}),
+            MixPhase(75.0, {"read": 5, "write": 5, "create_session": 1}),
+            MixPhase(150.0, {"read": 3, "write": 7, "create_session": 1}),
+            MixPhase(225.0, {"read": 7, "write": 2, "create_session": 2}),
+            MixPhase(300.0, {"read": 4, "write": 6, "create_session": 1}),
+            MixPhase(375.0, {"read": 8, "write": 1, "create_session": 2}),
+        ]
+    )
+
+
+def magnitudes() -> Tuple[float, float]:
+    """Points A and B of Fig. 7 for this benchmark (requests/min)."""
+    return (280.0, 1_125.0)

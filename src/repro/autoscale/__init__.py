@@ -1,0 +1,26 @@
+"""Elasticity managers: the common interface and the paper's baselines."""
+
+from repro.autoscale.cloudwatch import CloudWatchConfig, CloudWatchManager
+from repro.autoscale.elasticrmi import ElasticRMIConfig, ElasticRMIManager
+from repro.autoscale.htrace_cw import HTraceCloudWatchManager, HTraceConfig
+from repro.autoscale.manager import (
+    ClusterObservation,
+    ComponentObservation,
+    ElasticityManager,
+    ScalingDecision,
+    clamp_targets,
+)
+
+__all__ = [
+    "CloudWatchConfig",
+    "CloudWatchManager",
+    "ClusterObservation",
+    "ComponentObservation",
+    "ElasticRMIConfig",
+    "ElasticRMIManager",
+    "ElasticityManager",
+    "HTraceCloudWatchManager",
+    "HTraceConfig",
+    "ScalingDecision",
+    "clamp_targets",
+]

@@ -1,0 +1,149 @@
+"""Elasticity-manager interface shared by DCA and all baselines.
+
+Each simulated minute, the cluster simulator hands the active manager a
+:class:`ClusterObservation` and receives back the desired node count per
+component.  What a manager is *allowed to see* is the experimental
+variable of the paper:
+
+* **CloudWatch** sees only externally observable utilisation metrics;
+* **ElasticRMI** additionally sees fine-grained *internal* per-component
+  metrics (queue depths, lock contention) but no cross-component paths;
+* **HTrace + CloudWatch** sees temporal-causality span profiles;
+* **DCA** sees direct-causality path profiles and causal probability.
+
+The simulator enforces the visibility rules by populating only the
+fields each manager's ``visibility`` declares; managers must not reach
+into fields outside their declared visibility (tests assert this).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.core.regression import MachineSpec
+from repro.errors import ElasticityError
+
+
+@dataclass(frozen=True)
+class ComponentObservation:
+    """Per-component signals for one monitoring interval.
+
+    Attributes
+    ----------
+    component:
+        Component name.
+    nodes:
+        Nodes currently serving traffic.
+    pending_nodes:
+        Nodes provisioned but not yet ready.
+    utilization:
+        Externally observable CPU utilisation in [0, ∞); >1 means the
+        component is saturated (queue growing).
+    memory_utilization:
+        Externally observable memory utilisation proxy.
+    arrivals_per_min:
+        *Internal* metric: messages entering the component this interval.
+    queue_depth:
+        *Internal* metric: backlog (requests) at interval end.
+    service_demand_ms:
+        *Internal* metric: total CPU-ms of work offered this interval.
+    lock_contention:
+        *Internal* metric in [0, 1]: fraction of service time spent
+        waiting on locks (the paper's Section II-C scenario).
+    latency_ms:
+        Observed mean response latency for requests through this
+        component.
+    """
+
+    component: str
+    nodes: int
+    pending_nodes: int = 0
+    utilization: float = 0.0
+    memory_utilization: float = 0.0
+    arrivals_per_min: float = 0.0
+    queue_depth: float = 0.0
+    service_demand_ms: float = 0.0
+    lock_contention: float = 0.0
+    latency_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class ClusterObservation:
+    """Everything the simulator exposes for one monitoring interval."""
+
+    time_minutes: float
+    external_arrivals_per_min: float
+    components: Mapping[str, ComponentObservation]
+    machine: MachineSpec
+    sla_latency_ms: float
+    app_latency_ms: float = 0.0
+    app_throughput_per_min: float = 0.0
+
+    def total_nodes(self) -> int:
+        return sum(c.nodes + c.pending_nodes for c in self.components.values())
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """Desired node counts per component, plus monitoring-infra nodes.
+
+    ``infrastructure_nodes`` counts machines the elasticity mechanism
+    itself consumes (graph store + profiler hosts for DCA, collectors for
+    HTrace); they are charged as provisioned capacity in the Agility
+    metric, exactly like application nodes.
+    """
+
+    targets: Mapping[str, int]
+    infrastructure_nodes: int = 0
+
+    def __post_init__(self) -> None:
+        for comp, nodes in self.targets.items():
+            if nodes < 0:
+                raise ElasticityError(f"negative node target {nodes} for component {comp!r}")
+        if self.infrastructure_nodes < 0:
+            raise ElasticityError(f"negative infrastructure_nodes {self.infrastructure_nodes}")
+
+
+class ElasticityManager(abc.ABC):
+    """Base class for all elasticity managers.
+
+    Subclasses implement :meth:`decide`; the simulator calls it once per
+    monitoring interval and applies the returned targets subject to
+    provisioning delays.
+    """
+
+    #: Human-readable name used in result tables (e.g. "CloudWatch").
+    name: str = "base"
+
+    #: Which observation fields the manager may use: "external" restricts
+    #: to utilisation/latency; "internal" adds per-component internals;
+    #: "paths" adds causal/span profiles supplied out of band.
+    visibility: str = "external"
+
+    @abc.abstractmethod
+    def decide(self, observation: ClusterObservation) -> ScalingDecision:
+        """Return desired node counts for the next interval."""
+
+    def runtime_overhead_fraction(self) -> float:
+        """Fractional service-time inflation this manager imposes on the app.
+
+        Zero for black-box managers; positive for DCA (instrumentation)
+        and HTrace (span logging).
+        """
+        return 0.0
+
+    def on_interval_end(self, observation: ClusterObservation) -> None:
+        """Optional hook: managers update internal models after each interval."""
+
+
+def clamp_targets(
+    targets: Dict[str, int],
+    min_nodes: int = 1,
+    max_nodes: int = 10_000,
+) -> Dict[str, int]:
+    """Clamp per-component targets into [min_nodes, max_nodes]."""
+    if min_nodes < 0 or max_nodes < min_nodes:
+        raise ElasticityError(f"invalid clamp range [{min_nodes}, {max_nodes}]")
+    return {comp: max(min_nodes, min(max_nodes, int(n))) for comp, n in targets.items()}

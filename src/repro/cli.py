@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands:
+
+* ``analyze <scenario>``   — static DCA results (V_out / V_in / V_tr) per component
+* ``paths <scenario>``     — statically enumerated causal paths
+* ``overhead <scenario>``  — Fig. 5 overhead measurement at one or more rates
+* ``simulate <scenario>``  — run one elasticity manager over the Fig. 7 workload
+* ``table <scenario…>``    — the Fig. 8 agility + RQ5 SLA tables for all managers
+* ``report <scenario…>``   — write the full markdown report to a file
+
+Scenarios: ``marketcetera``, ``hedwig``, ``zookeeper``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.apps.catalog import SCENARIOS, load_scenario
+from repro.core.dca import analyze_application
+from repro.core.paths import enumerate_causal_paths
+from repro.errors import ReproError
+from repro.evalx.experiment import MANAGER_NAMES, ExperimentConfig, run_all_managers, run_manager
+from repro.evalx.overhead import fig5_measurements
+from repro.evalx.reporting import fig5_table, fig8_table, format_table, sla_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Exploiting Causality to Engineer Elastic "
+        "Distributed Software' (ICDCS 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="static DCA analysis of a scenario's app")
+    p_analyze.add_argument("scenario", choices=sorted(SCENARIOS))
+
+    p_paths = sub.add_parser("paths", help="statically enumerated causal paths")
+    p_paths.add_argument("scenario", choices=sorted(SCENARIOS))
+
+    p_overhead = sub.add_parser("overhead", help="Fig. 5 runtime-overhead measurement")
+    p_overhead.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_overhead.add_argument(
+        "--rates", type=float, nargs="+", default=[1.0, 0.05, 0.10, 0.20],
+        help="sampling rates in [0,1] (default: the paper's four levels)",
+    )
+    p_overhead.add_argument("--duration", type=int, default=450, help="run minutes")
+
+    p_sim = sub.add_parser("simulate", help="run one manager over the Fig. 7 workload")
+    p_sim.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_sim.add_argument("--manager", choices=MANAGER_NAMES, default="DCA-10%")
+    p_sim.add_argument("--duration", type=int, default=450, help="run minutes")
+    p_sim.add_argument("--seed", type=int, default=7)
+
+    p_table = sub.add_parser("table", help="Fig. 8 agility + RQ5 SLA tables")
+    p_table.add_argument("scenarios", nargs="+", choices=sorted(SCENARIOS))
+    p_table.add_argument("--duration", type=int, default=450, help="run minutes")
+    p_table.add_argument("--seed", type=int, default=7)
+
+    p_report = sub.add_parser(
+        "report", help="write a full markdown report (Figs. 5/6/8 + SLA) to a file"
+    )
+    p_report.add_argument("scenarios", nargs="+", choices=sorted(SCENARIOS))
+    p_report.add_argument("--output", "-o", default="report.md", help="output path")
+    p_report.add_argument("--duration", type=int, default=450, help="run minutes")
+    p_report.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _cmd_analyze(args) -> int:
+    scenario = load_scenario(args.scenario)
+    dca = analyze_application(scenario.app)
+    rows = []
+    for name, analysis in sorted(dca.per_component.items()):
+        rows.append(
+            [
+                name,
+                ", ".join(sorted(analysis.v_out)) or "∅",
+                ", ".join(sorted(analysis.v_tr)) or "∅",
+                f"{analysis.state_var_count}",
+            ]
+        )
+    print(format_table(["component", "V_out", "V_tr (tracked)", "state vars"], rows))
+    total = dca.total_tracked_vars()
+    state = sum(a.state_var_count for a in dca.per_component.values())
+    print(f"\n{total}/{state} state variables instrumented "
+          f"({100 * total / max(1, state):.0f}%).")
+    return 0
+
+
+def _cmd_paths(args) -> int:
+    scenario = load_scenario(args.scenario)
+    paths = enumerate_causal_paths(scenario.app)
+    for req_type in sorted(paths):
+        print(f"{req_type}: {len(paths[req_type])} static causal path(s)")
+        for sig in paths[req_type]:
+            print(f"  [{sig.path_id}] {sig.describe()}")
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    scenario = load_scenario(args.scenario)
+    measurements = fig5_measurements(
+        scenario, rates=tuple(args.rates), duration_minutes=args.duration
+    )
+    print(fig5_table({args.scenario: measurements}))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    scenario = load_scenario(args.scenario)
+    config = ExperimentConfig(duration_minutes=args.duration, seed=args.seed)
+    result = run_manager(scenario, args.manager, config)
+    print(f"{args.manager} over {args.duration} minutes of {args.scenario}:")
+    print(f"  agility            : {result.agility():.2f}")
+    print(f"  SLA violations     : {result.sla_violation_percent():.2f}%")
+    print(f"  zero-agility ticks : {100 * result.zero_agility_fraction():.1f}%")
+    print(f"  runtime overhead   : {100 * result.overhead_mean():.2f}%")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    results_by_app = {}
+    for name in args.scenarios:
+        scenario = load_scenario(name)
+        config = ExperimentConfig(duration_minutes=args.duration, seed=args.seed)
+        results_by_app[name] = run_all_managers(scenario, config=config)
+    print("Average agility (Fig. 8; lower is better):")
+    print(fig8_table(results_by_app))
+    print("\nSLA violations (RQ5):")
+    print(sla_table(results_by_app))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.evalx.reporting import fig6_report
+
+    sections: List[str] = [
+        "# Reproduction report — Exploiting Causality to Engineer Elastic "
+        "Distributed Software (ICDCS 2016)",
+        "",
+        f"Scenarios: {', '.join(args.scenarios)} · duration {args.duration} min "
+        f"· seed {args.seed}",
+    ]
+    overheads = {}
+    results_by_app = {}
+    for name in args.scenarios:
+        scenario = load_scenario(name)
+        overheads[name] = fig5_measurements(scenario, duration_minutes=args.duration)
+        config = ExperimentConfig(duration_minutes=args.duration, seed=args.seed)
+        results_by_app[name] = run_all_managers(scenario, config=config)
+
+    sections += ["", "## Fig. 5 — DCA runtime overhead", "```",
+                 fig5_table(overheads), "```"]
+    sections += ["", "## Fig. 8 — average agility (lower is better)", "```",
+                 fig8_table(results_by_app), "```"]
+    sections += ["", "## RQ5 — SLA violations", "```",
+                 sla_table(results_by_app), "```"]
+    for name, results in results_by_app.items():
+        sections += ["", f"## Fig. 6 — {name} time series", "```",
+                     fig6_report(results, name), "```"]
+    text = "\n".join(sections) + "\n"
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "paths": _cmd_paths,
+    "overhead": _cmd_overhead,
+    "simulate": _cmd_simulate,
+    "table": _cmd_table,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

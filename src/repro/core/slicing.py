@@ -1,0 +1,82 @@
+"""Static slicing API in the paper's vocabulary (Section IV-A).
+
+Thin, documented wrappers over :class:`repro.lang.dependence.HandlerPDG`
+exposing exactly the two slices DCA needs:
+
+* :func:`backward_slice_from_send` — ``S_out``: the state variables that
+  influence a given ``send(msgOut)``;
+* :func:`forward_slice_from_recv` — ``V_in``: the variables that could be
+  written by the execution path from ``recv(msgIn)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+from repro.errors import AnalysisError
+from repro.lang.dependence import HandlerPDG
+from repro.lang.ir import Send
+
+
+@dataclass(frozen=True)
+class SendSlice:
+    """Backward slice from one send site.
+
+    ``s_out`` is the paper's per-send variable set: state variables whose
+    entry value influences whether/what the send emits (data or control).
+    """
+
+    component: str
+    handler_msg_type: str
+    send_msg_type: str
+    dest: str
+    s_out: FrozenSet[str]
+    uses_message: bool
+
+
+@dataclass(frozen=True)
+class RecvSlice:
+    """Forward slice from one handler's ``recv``.
+
+    ``v_in`` is every variable the handler may write; ``message_influenced``
+    is the subset whose written value is data/control dependent on the
+    incoming message.
+    """
+
+    component: str
+    handler_msg_type: str
+    v_in: FrozenSet[str]
+    message_influenced: FrozenSet[str]
+
+
+def backward_slice_from_send(pdg: HandlerPDG, send_node: int) -> SendSlice:
+    """``S_out`` for the send statement at CFG node ``send_node``."""
+    stmt = pdg.cfg.stmt_of.get(send_node)
+    if not isinstance(stmt, Send):
+        raise AnalysisError(f"node {send_node} is not a Send statement")
+    sl = pdg.backward_slice(send_node)
+    return SendSlice(
+        component=pdg.component.name,
+        handler_msg_type=pdg.handler.msg_type,
+        send_msg_type=stmt.msg_type,
+        dest=stmt.dest,
+        s_out=sl.entry_state_vars,
+        uses_message=sl.uses_message,
+    )
+
+
+def all_send_slices(pdg: HandlerPDG) -> List[SendSlice]:
+    """Backward slices for every send site of the handler, in program order."""
+    return [backward_slice_from_send(pdg, node) for node in pdg.send_sites()]
+
+
+def forward_slice_from_recv(pdg: HandlerPDG) -> RecvSlice:
+    """``V_in`` for the handler: variables writable from ``recv(msgIn)``."""
+    state_vars = pdg.component.state_vars()
+    return RecvSlice(
+        component=pdg.component.name,
+        handler_msg_type=pdg.handler.msg_type,
+        v_in=frozenset(pdg.written_vars() & state_vars),
+        message_influenced=frozenset(pdg.message_written_vars() & state_vars),
+    )

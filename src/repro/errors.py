@@ -1,0 +1,48 @@
+"""Exception hierarchy shared across the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while tests can
+assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class IRError(ReproError):
+    """Raised when a component program is structurally invalid."""
+
+
+class AnalysisError(ReproError):
+    """Raised when static analysis (CFG, dependence, slicing) fails."""
+
+
+class InterpreterError(ReproError):
+    """Raised when handler execution fails at runtime."""
+
+
+class GraphStoreError(ReproError):
+    """Raised on invalid graph-store operations (unknown uid, bad query)."""
+
+
+class ProfilingError(ReproError):
+    """Raised by the path profiler (unknown path, bad window)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the cluster simulator (bad topology, negative capacity)."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload pattern or generator is misconfigured."""
+
+
+class ElasticityError(ReproError):
+    """Raised by elasticity managers (bad allocation, unknown component)."""
+
+
+class EvaluationError(ReproError):
+    """Raised by the evaluation harness (metric misuse, bad experiment)."""

@@ -1,0 +1,89 @@
+"""The SPEC Agility metric (Section V-D of the paper).
+
+Agility over ``[t, t']`` divided into N sub-intervals is
+
+    (1/N) (Σ_i Excess(i) + Σ_i Shortage(i))
+
+with ``Excess(i) = Cap_prov(i) − Req_min(i)`` when positive (else 0) and
+``Shortage(i) = Req_min(i) − Cap_prov(i)`` when positive (else 0).
+Lower is better; zero is perfect provisioning.
+
+:class:`repro.sim.metrics.SimulationResult` computes agility for a run;
+this module provides the raw-series form (for property tests and
+external data) and cross-manager comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.sim.metrics import SimulationResult
+
+
+def agility_from_series(
+    capacity: Sequence[float],
+    required: Sequence[float],
+) -> float:
+    """SPEC Agility from per-interval capacity and requirement series."""
+    if len(capacity) != len(required):
+        raise EvaluationError(
+            f"series length mismatch: {len(capacity)} capacity vs {len(required)} required"
+        )
+    if not capacity:
+        raise EvaluationError("agility requires at least one interval")
+    excess = 0.0
+    shortage = 0.0
+    for cap, req in zip(capacity, required):
+        if cap < 0 or req < 0:
+            raise EvaluationError("capacity and requirement must be >= 0")
+        if cap > req:
+            excess += cap - req
+        elif req > cap:
+            shortage += req - cap
+    return (excess + shortage) / len(capacity)
+
+
+@dataclass(frozen=True)
+class AgilityBreakdown:
+    """Excess/shortage decomposition of one run's agility."""
+
+    agility: float
+    mean_excess: float
+    mean_shortage: float
+    zero_fraction: float
+
+    @property
+    def excess_dominated(self) -> bool:
+        """True when over-provisioning (not starvation) drives the number.
+
+        The paper's RQ3/RQ5 finding for DCA-100%: its agility is "primarily
+        a result of DCA's runtime overhead", i.e. excess, while SLA
+        violations stay under 1%.
+        """
+        return self.mean_excess >= self.mean_shortage
+
+
+def breakdown(result: SimulationResult) -> AgilityBreakdown:
+    """Decompose a run's agility into mean excess and mean shortage."""
+    records = result.records
+    if not records:
+        raise EvaluationError("empty simulation result")
+    n = len(records)
+    mean_excess = sum(r.excess for r in records) / n
+    mean_shortage = sum(r.shortage for r in records) / n
+    return AgilityBreakdown(
+        agility=mean_excess + mean_shortage,
+        mean_excess=mean_excess,
+        mean_shortage=mean_shortage,
+        zero_fraction=result.zero_agility_fraction(),
+    )
+
+
+def rank_managers(results: Mapping[str, SimulationResult]) -> List[Tuple[str, float]]:
+    """Managers sorted by agility, best (lowest) first."""
+    if not results:
+        raise EvaluationError("no results to rank")
+    pairs = [(name, res.agility()) for name, res in results.items()]
+    return sorted(pairs, key=lambda p: (p[1], p[0]))

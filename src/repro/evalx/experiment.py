@@ -1,0 +1,169 @@
+"""The full RQ1–RQ5 experiment runner (Section V of the paper).
+
+Builds, for one :class:`~repro.apps.catalog.AppScenario`, the seven
+elasticity-management systems the paper compares —
+
+    CloudWatch, ElasticRMI, HTrace+CW, DCA-100%, DCA-5%, DCA-10%, DCA-20%
+
+— wires each into a fresh cluster simulation of the Fig. 7 workload, and
+returns per-manager :class:`~repro.sim.metrics.SimulationResult` objects
+from which Figs. 5, 6 and 8 are regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.apps.catalog import AppScenario
+from repro.autoscale.cloudwatch import CloudWatchManager
+from repro.autoscale.elasticrmi import ElasticRMIManager
+from repro.autoscale.htrace_cw import HTraceCloudWatchManager
+from repro.autoscale.manager import ElasticityManager
+from repro.core.elasticity import (
+    DCAElasticityManager,
+    DCAManagerConfig,
+    detect_serialization_suspects,
+)
+from repro.errors import EvaluationError
+from repro.sim.engine import ClusterSimulator, DCABundle, SimulationConfig
+from repro.sim.metrics import SimulationResult
+from repro.tracing.htrace import HTraceCollector
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.patterns import ScaledPattern, paper_pattern
+
+#: The seven systems of the paper's evaluation, in table order.
+MANAGER_NAMES: Tuple[str, ...] = (
+    "CloudWatch",
+    "ElasticRMI",
+    "HTrace+CW",
+    "DCA-100%",
+    "DCA-5%",
+    "DCA-10%",
+    "DCA-20%",
+)
+
+#: Sampling rate per DCA variant name.
+DCA_RATES: Mapping[str, float] = {
+    "DCA-100%": 1.0,
+    "DCA-5%": 0.05,
+    "DCA-10%": 0.10,
+    "DCA-20%": 0.20,
+}
+
+
+@dataclass
+class ExperimentConfig:
+    """Run-level knobs shared across managers (fair comparison)."""
+
+    duration_minutes: int = 450
+    seed: int = 7
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def __post_init__(self) -> None:
+        if self.duration_minutes < 1:
+            raise EvaluationError(f"duration_minutes must be >= 1, got {self.duration_minutes}")
+        self.sim.duration_minutes = self.duration_minutes
+
+
+def _make_generator(scenario: AppScenario, seed: int) -> WorkloadGenerator:
+    low, high = scenario.magnitudes
+    return WorkloadGenerator(
+        ScaledPattern(paper_pattern, low, high),
+        scenario.mix,
+        scenario.classes,
+        seed=seed,
+    )
+
+
+def _avg_messages_per_request(scenario: AppScenario) -> float:
+    from repro.sim.runtime import ApplicationRuntime
+
+    runtime = ApplicationRuntime(scenario.app)
+    total = 0
+    for request in scenario.classes:
+        trace = runtime.execute_request(request, sampled=False)
+        total += trace.total_messages()
+    return total / max(1, len(scenario.classes))
+
+
+def build_simulator(
+    scenario: AppScenario,
+    manager_name: str,
+    config: Optional[ExperimentConfig] = None,
+) -> ClusterSimulator:
+    """Construct a fully wired simulator for one manager over one scenario."""
+    cfg = config or ExperimentConfig()
+    generator = _make_generator(scenario, cfg.seed)
+    machine = scenario.machine
+
+    if manager_name == "CloudWatch":
+        manager: ElasticityManager = CloudWatchManager()
+        return ClusterSimulator(
+            scenario.app, generator, dict(scenario.deployments), machine, manager, config=cfg.sim
+        )
+    if manager_name == "ElasticRMI":
+        manager = ElasticRMIManager()
+        return ClusterSimulator(
+            scenario.app, generator, dict(scenario.deployments), machine, manager, config=cfg.sim
+        )
+    if manager_name == "HTrace+CW":
+        collector = HTraceCollector(seed=cfg.seed)
+        manager = HTraceCloudWatchManager(collector)
+        return ClusterSimulator(
+            scenario.app,
+            generator,
+            dict(scenario.deployments),
+            machine,
+            manager,
+            config=cfg.sim,
+            htrace=collector,
+        )
+    rate = DCA_RATES.get(manager_name)
+    if rate is None:
+        raise EvaluationError(f"unknown manager {manager_name!r}; choose from {MANAGER_NAMES}")
+    bundle = DCABundle.create(
+        scenario.app,
+        sampling_rate=rate,
+        overhead_model=scenario.overhead_model,
+        num_front_ends=scenario.num_front_ends,
+        seed=cfg.seed,
+    )
+    manager = DCAElasticityManager(
+        profiler=bundle.profiler,
+        machine=machine,
+        config=DCAManagerConfig(sampling_rate=rate),
+        serialization_suspects=detect_serialization_suspects(scenario.app),
+        avg_messages_per_request=_avg_messages_per_request(scenario),
+    )
+    return ClusterSimulator(
+        scenario.app,
+        generator,
+        dict(scenario.deployments),
+        machine,
+        manager,
+        config=cfg.sim,
+        dca=bundle,
+    )
+
+
+def run_manager(
+    scenario: AppScenario,
+    manager_name: str,
+    config: Optional[ExperimentConfig] = None,
+) -> SimulationResult:
+    """Run one manager over one scenario for the full workload."""
+    return build_simulator(scenario, manager_name, config).run()
+
+
+def run_all_managers(
+    scenario: AppScenario,
+    managers: Optional[Sequence[str]] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, SimulationResult]:
+    """Run all (or the given) managers over one scenario."""
+    names = tuple(managers) if managers is not None else MANAGER_NAMES
+    results: Dict[str, SimulationResult] = {}
+    for name in names:
+        results[name] = run_manager(scenario, name, config)
+    return results

@@ -1,0 +1,119 @@
+"""Runtime-overhead measurement (Fig. 5 / RQ1 of the paper).
+
+Fig. 5 reports, per application and per DCA sampling level, the mean
+runtime overhead and the range into which 95% of per-interval overhead
+measurements fall, over the 450-minute Fig. 7 run.
+
+The measurement here replays the workload (pattern + shifting mix +
+Poisson arrival noise + the per-front-end sampler) and computes, per
+minute, instrumented CPU time relative to base CPU time, using
+instruction counts from real instrumented traces.  No elasticity manager
+is involved: overhead is a property of the instrumentation alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.apps.catalog import AppScenario
+from repro.core.dca import analyze_application
+from repro.core.sampling import RequestSampler
+from repro.errors import EvaluationError
+from repro.sim.runtime import ApplicationRuntime, RequestTrace
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.patterns import ScaledPattern, paper_pattern
+
+
+@dataclass(frozen=True)
+class OverheadMeasurement:
+    """Mean and 95% range of per-interval overhead, as in Fig. 5."""
+
+    application: str
+    sampling_rate: float
+    mean: float
+    low_95: float
+    high_95: float
+
+    def as_percent_row(self) -> Tuple[str, str]:
+        """("lo–hi%", "mean%") strings in the Fig. 5 format."""
+        return (
+            f"{100 * self.low_95:.1f}–{100 * self.high_95:.1f}%",
+            f"{100 * self.mean:.2f}%",
+        )
+
+
+def measure_overhead(
+    scenario: AppScenario,
+    sampling_rate: float,
+    duration_minutes: int = 450,
+    seed: int = 0,
+) -> OverheadMeasurement:
+    """Measure DCA runtime overhead for ``scenario`` at ``sampling_rate``."""
+    if not 0.0 <= sampling_rate <= 1.0:
+        raise EvaluationError(f"sampling_rate must be in [0, 1], got {sampling_rate}")
+    dca = analyze_application(scenario.app)
+    runtime = ApplicationRuntime(
+        scenario.app,
+        dca_result=dca,
+        overhead_model=scenario.overhead_model,
+        sampling_rate=sampling_rate,
+    )
+    low, high = scenario.magnitudes
+    generator = WorkloadGenerator(
+        ScaledPattern(paper_pattern, low, high),
+        scenario.mix,
+        scenario.classes,
+        seed=seed,
+    )
+    sampler = RequestSampler(sampling_rate, num_front_ends=scenario.num_front_ends, seed=seed)
+
+    traces: Dict[str, RequestTrace] = {}
+    for request in scenario.classes:
+        traces[request.name] = runtime.execute_request(request, sampled=True)
+
+    fractions: List[float] = []
+    for tick in range(duration_minutes):
+        arrivals = generator.arrivals(float(tick))
+        base_ms = 0.0
+        overhead_ms = 0.0
+        fe = tick % scenario.num_front_ends
+        for class_name, count in arrivals.items():
+            if count <= 0:
+                continue
+            trace = traces[class_name]
+            class_base = sum(
+                msgs * scenario.app.components[comp].service_cost
+                for comp, msgs in trace.component_messages.items()
+            )
+            base_ms += count * class_base
+            sampled = sampler.sample_count(count, front_end_index=fe)
+            overhead_ms += sampled * sum(trace.component_instr_ms.values())
+        if base_ms > 0:
+            fractions.append(overhead_ms / base_ms)
+    if not fractions:
+        raise EvaluationError("no intervals carried traffic; cannot measure overhead")
+    fractions.sort()
+    mean = sum(fractions) / len(fractions)
+    lo = fractions[int(0.025 * (len(fractions) - 1))]
+    hi = fractions[min(len(fractions) - 1, int(round(0.975 * (len(fractions) - 1))))]
+    return OverheadMeasurement(
+        application=scenario.name,
+        sampling_rate=sampling_rate,
+        mean=mean,
+        low_95=lo,
+        high_95=hi,
+    )
+
+
+def fig5_measurements(
+    scenario: AppScenario,
+    rates: Tuple[float, ...] = (1.0, 0.05, 0.10, 0.20),
+    duration_minutes: int = 450,
+    seed: int = 0,
+) -> Dict[float, OverheadMeasurement]:
+    """All Fig. 5 rows (DCA-100/5/10/20%) for one application."""
+    return {
+        rate: measure_overhead(scenario, rate, duration_minutes=duration_minutes, seed=seed)
+        for rate in rates
+    }

@@ -1,0 +1,57 @@
+"""SLA-violation analysis (RQ5 of the paper).
+
+"Due to the fact that some applications and organizations can tolerate
+an excess of resources but not shortage, it is important to evaluate how
+frequently and to what extent … application SLAs [are] violated."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Tuple
+
+from repro.errors import EvaluationError
+from repro.sim.metrics import SimulationResult
+
+
+@dataclass(frozen=True)
+class SLAReport:
+    """SLA outcomes for one run."""
+
+    violation_percent: float
+    violation_percent_while_decreasing: float
+    worst_interval_percent: float
+    violating_intervals: int
+    total_intervals: int
+
+    @property
+    def decreasing_is_safe(self) -> bool:
+        """The paper's observation: violations vanish while workload falls
+        because excess capacity pending de-provisioning keeps serving."""
+        return self.violation_percent_while_decreasing <= max(
+            0.5, 0.25 * self.violation_percent
+        )
+
+
+def sla_report(result: SimulationResult) -> SLAReport:
+    """Summarise a run's SLA behaviour."""
+    records = result.records
+    if not records:
+        raise EvaluationError("empty simulation result")
+    worst = max((100.0 * r.sla_violation_fraction for r in records), default=0.0)
+    violating = sum(1 for r in records if r.sla_violation_fraction > 0)
+    return SLAReport(
+        violation_percent=result.sla_violation_percent(),
+        violation_percent_while_decreasing=result.decreasing_interval_violations(),
+        worst_interval_percent=worst,
+        violating_intervals=violating,
+        total_intervals=len(records),
+    )
+
+
+def rank_managers(results: Mapping[str, SimulationResult]) -> List[Tuple[str, float]]:
+    """Managers sorted by SLA violation %, best (lowest) first."""
+    if not results:
+        raise EvaluationError("no results to rank")
+    pairs = [(name, res.sla_violation_percent()) for name, res in results.items()]
+    return sorted(pairs, key=lambda p: (p[1], p[0]))

@@ -1,0 +1,24 @@
+"""Partitioned in-memory causal-graph store (Apache Titan substitute)."""
+
+from repro.graphstore.partition import HashPartitioner
+from repro.graphstore.query import (
+    CausalGraphResult,
+    EdgeTriple,
+    ancestors_of,
+    causal_graph_bfs,
+    reachable_set,
+    to_dot,
+)
+from repro.graphstore.store import GraphNode, GraphStore
+
+__all__ = [
+    "CausalGraphResult",
+    "EdgeTriple",
+    "GraphNode",
+    "GraphStore",
+    "HashPartitioner",
+    "ancestors_of",
+    "causal_graph_bfs",
+    "reachable_set",
+    "to_dot",
+]

@@ -1,0 +1,170 @@
+"""In-memory partitioned property-graph store for causal edges.
+
+Substitute for Apache Titan (Section IV-A of the paper): the store lives
+*outside* the application (in the simulation, on the monitoring host),
+indexes nodes by message uid so edge hops are O(1) hash lookups, and
+triggers causal-path construction when a terminal (response) node is
+inserted — "the computation of this causal graph is triggered at the
+graph store when the edge corresponding to [the] last message in the
+causal path … is stored" (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.errors import GraphStoreError
+from repro.graphstore.partition import HashPartitioner
+from repro.lang.ir import CLIENT
+from repro.lang.message import Message, MessageUid
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """A node in the causal graph: ``〈uid_M, info_M〉`` per the paper.
+
+    ``info`` carries the message type, source/destination components and
+    (optionally) payload metadata.
+    """
+
+    uid: MessageUid
+    msg_type: str
+    src: str
+    dest: str
+    info: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def is_response(self) -> bool:
+        """Whether this node is a response to the external client."""
+        return self.dest == CLIENT
+
+
+class GraphStore:
+    """Distributed-flavoured causal-graph store with a uid hash index.
+
+    Parameters
+    ----------
+    num_partitions:
+        Number of hash partitions (Titan would shard similarly).
+    on_path_complete:
+        Callback invoked with the *root uid* whenever a response node is
+        inserted, signalling that the causal graph rooted there can be
+        extracted (the profiler subscribes to this).
+    """
+
+    def __init__(
+        self,
+        num_partitions: int = 4,
+        on_path_complete: Optional[Callable[[MessageUid], None]] = None,
+    ) -> None:
+        self._partitioner = HashPartitioner(num_partitions)
+        self._partitions: List[Dict[MessageUid, GraphNode]] = [dict() for _ in range(num_partitions)]
+        self._out_edges: Dict[MessageUid, Set[MessageUid]] = {}
+        self._in_edges: Dict[MessageUid, Set[MessageUid]] = {}
+        self._roots: Dict[MessageUid, MessageUid] = {}
+        self._on_path_complete = on_path_complete
+        self.edge_count = 0
+        self.cross_partition_edges = 0
+        self.index_lookups = 0
+
+    # -- writes ---------------------------------------------------------------
+
+    def add_message(self, message: Message) -> GraphNode:
+        """Insert the node for ``message`` and edges from each of its causes.
+
+        Unknown cause uids are tolerated (their node may arrive later or
+        may have been dropped by sampling); the edge is recorded either
+        way so BFS remains correct once both endpoints exist.
+        """
+        node = GraphNode(
+            uid=message.uid,
+            msg_type=message.msg_type,
+            src=message.src,
+            dest=message.dest,
+            info={"root_uid": message.root_uid},
+        )
+        self._put_node(node)
+        root = message.root_uid if message.root_uid is not None else message.uid
+        self._roots[message.uid] = root
+        for cause in sorted(message.cause_uids):
+            self.add_edge(cause, message.uid)
+        if node.is_response and self._on_path_complete is not None:
+            self._on_path_complete(root)
+        return node
+
+    def add_edge(self, cause: MessageUid, effect: MessageUid) -> None:
+        """Record a directed causal edge ``cause → effect``."""
+        if cause == effect:
+            raise GraphStoreError(f"self-causation edge on {cause}")
+        self._out_edges.setdefault(cause, set()).add(effect)
+        self._in_edges.setdefault(effect, set()).add(cause)
+        self.edge_count += 1
+        if self._partitioner.partition_of(cause) != self._partitioner.partition_of(effect):
+            self.cross_partition_edges += 1
+
+    def _put_node(self, node: GraphNode) -> None:
+        part = self._partitions[self._partitioner.partition_of(node.uid)]
+        part[node.uid] = node
+
+    # -- reads ------------------------------------------------------------------
+
+    def get_node(self, uid: MessageUid) -> Optional[GraphNode]:
+        """O(1) hash-index lookup of a node by uid."""
+        self.index_lookups += 1
+        part = self._partitions[self._partitioner.partition_of(uid)]
+        return part.get(uid)
+
+    def require_node(self, uid: MessageUid) -> GraphNode:
+        node = self.get_node(uid)
+        if node is None:
+            raise GraphStoreError(f"unknown node uid {uid}")
+        return node
+
+    def successors(self, uid: MessageUid) -> Set[MessageUid]:
+        """Effects directly caused by ``uid``."""
+        return set(self._out_edges.get(uid, ()))
+
+    def predecessors(self, uid: MessageUid) -> Set[MessageUid]:
+        """Direct causes of ``uid``."""
+        return set(self._in_edges.get(uid, ()))
+
+    def node_count(self) -> int:
+        return sum(len(p) for p in self._partitions)
+
+    def root_of(self, uid: MessageUid) -> Optional[MessageUid]:
+        """Root (external request) uid recorded for ``uid``, if any."""
+        return self._roots.get(uid)
+
+    def all_uids(self) -> Iterable[MessageUid]:
+        for part in self._partitions:
+            yield from part.keys()
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def evict_graph(self, root: MessageUid) -> int:
+        """Remove the nodes/edges of a completed causal graph to bound memory.
+
+        Returns the number of nodes removed.  The simulation calls this
+        after the profiler has consumed a completed path.
+        """
+        removed = 0
+        frontier = [root]
+        seen: Set[MessageUid] = set()
+        while frontier:
+            uid = frontier.pop()
+            if uid in seen:
+                continue
+            seen.add(uid)
+            frontier.extend(self._out_edges.get(uid, ()))
+        for uid in seen:
+            part = self._partitions[self._partitioner.partition_of(uid)]
+            if uid in part:
+                del part[uid]
+                removed += 1
+            for succ in self._out_edges.pop(uid, set()):
+                self._in_edges.get(succ, set()).discard(uid)
+            for pred in self._in_edges.pop(uid, set()):
+                self._out_edges.get(pred, set()).discard(uid)
+            self._roots.pop(uid, None)
+        return removed

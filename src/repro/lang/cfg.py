@@ -1,0 +1,185 @@
+"""Control-flow graph construction for handler bodies.
+
+DCA's slicing (Section IV-A of the paper) requires control dependences as
+well as data dependences: an outgoing message is influenced by every
+variable that decides *whether* the ``send`` executes, not only by the
+variables flowing into its payload.  This module builds a classic CFG for
+a handler body and computes post-dominators and control dependences with
+the standard Ferrante–Ottenstein–Warren construction (control dependence =
+post-dominance frontier).
+
+Node ids are statement ``sid``s; two synthetic nodes :data:`ENTRY` and
+:data:`EXIT` bracket the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import AnalysisError
+from repro.lang.ir import Handler, If, Stmt, While
+
+#: Synthetic entry node id (binds the message parameter and state vars).
+ENTRY = 0
+#: Synthetic exit node id.
+EXIT = -1
+
+
+class CFG:
+    """A control-flow graph over handler statements.
+
+    Attributes
+    ----------
+    nodes:
+        All node ids, including :data:`ENTRY` and :data:`EXIT`.
+    succ / pred:
+        Adjacency maps.
+    stmt_of:
+        Node id → :class:`~repro.lang.ir.Stmt` (absent for ENTRY/EXIT).
+    """
+
+    def __init__(self) -> None:
+        self.nodes: Set[int] = {ENTRY, EXIT}
+        self.succ: Dict[int, Set[int]] = {ENTRY: set(), EXIT: set()}
+        self.pred: Dict[int, Set[int]] = {ENTRY: set(), EXIT: set()}
+        self.stmt_of: Dict[int, Stmt] = {}
+
+    def add_node(self, stmt: Stmt) -> int:
+        nid = stmt.sid
+        if nid in self.nodes:
+            raise AnalysisError(f"duplicate CFG node id {nid} (statement objects must not be reused)")
+        self.nodes.add(nid)
+        self.succ[nid] = set()
+        self.pred[nid] = set()
+        self.stmt_of[nid] = stmt
+        return nid
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if src not in self.nodes or dst not in self.nodes:
+            raise AnalysisError(f"edge ({src}, {dst}) references unknown CFG node")
+        self.succ[src].add(dst)
+        self.pred[dst].add(src)
+
+    def statement_nodes(self) -> List[int]:
+        """All non-synthetic node ids, in deterministic (sid) order."""
+        return sorted(self.stmt_of)
+
+    def reverse_postorder(self) -> List[int]:
+        """Reverse postorder over the CFG from ENTRY (deterministic)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+
+        def visit(node: int) -> None:
+            stack: List[Tuple[int, Iterable[int]]] = [(node, iter(sorted(self.succ[node])))]
+            seen.add(node)
+            while stack:
+                current, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, iter(sorted(self.succ[nxt]))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(ENTRY)
+        return list(reversed(order))
+
+
+def build_cfg(handler: Handler) -> CFG:
+    """Build the CFG of ``handler``'s body.
+
+    Structured statements produce the usual diamond (``If``) and back-edge
+    (``While``) shapes.  The final statement(s) fall through to EXIT.
+    """
+    cfg = CFG()
+    for stmt in handler.walk():
+        cfg.add_node(stmt)
+    exits = _wire_block(cfg, handler.body, [ENTRY])
+    for node in exits:
+        cfg.add_edge(node, EXIT)
+    return cfg
+
+
+def _wire_block(cfg: CFG, block: Sequence[Stmt], incoming: List[int]) -> List[int]:
+    """Wire ``block``'s statements after ``incoming`` nodes; return exit nodes."""
+    current = list(incoming)
+    for stmt in block:
+        for src in current:
+            cfg.add_edge(src, stmt.sid)
+        if isinstance(stmt, If):
+            then_exits = _wire_block(cfg, stmt.then_body, [stmt.sid])
+            if stmt.else_body:
+                else_exits = _wire_block(cfg, stmt.else_body, [stmt.sid])
+            else:
+                else_exits = [stmt.sid]
+            current = then_exits + else_exits
+        elif isinstance(stmt, While):
+            body_exits = _wire_block(cfg, stmt.body, [stmt.sid])
+            for src in body_exits:
+                cfg.add_edge(src, stmt.sid)
+            current = [stmt.sid]
+        else:
+            current = [stmt.sid]
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Dominance analyses
+# ---------------------------------------------------------------------------
+
+
+def postdominators(cfg: CFG) -> Dict[int, Set[int]]:
+    """Post-dominator sets via the standard iterative dataflow algorithm.
+
+    ``postdom[n]`` contains ``n`` itself and every node that post-dominates
+    it.  EXIT post-dominates everything (every handler body terminates —
+    loops are bounded at runtime, and the CFG's While node always has the
+    fall-through edge).
+    """
+    nodes = set(cfg.nodes)
+    postdom: Dict[int, Set[int]] = {n: set(nodes) for n in nodes}
+    postdom[EXIT] = {EXIT}
+    changed = True
+    while changed:
+        changed = False
+        for node in sorted(nodes - {EXIT}, reverse=True):
+            succs = cfg.succ[node]
+            if succs:
+                new: Set[int] = set.intersection(*(postdom[s] for s in succs))
+            else:
+                new = set()
+            new = new | {node}
+            if new != postdom[node]:
+                postdom[node] = new
+                changed = True
+    return postdom
+
+
+def control_dependences(cfg: CFG) -> Dict[int, Set[int]]:
+    """Map each node to the set of nodes it is control dependent on.
+
+    Ferrante–Ottenstein–Warren: ``b`` is control dependent on ``a`` iff
+    there is an edge ``a → s`` such that ``b`` post-dominates ``s`` but
+    ``b`` does not strictly post-dominate ``a``.
+    """
+    postdom = postdominators(cfg)
+    deps: Dict[int, Set[int]] = {n: set() for n in cfg.nodes}
+    for a in cfg.nodes:
+        for s in cfg.succ[a]:
+            for b in cfg.nodes:
+                if b in (ENTRY, EXIT):
+                    continue
+                if b in postdom[s] and (b == a or b not in postdom[a]):
+                    if b != a:
+                        deps[b].add(a)
+                    elif isinstance(cfg.stmt_of.get(a), While):
+                        # A loop header is control dependent on itself
+                        # (whether the next iteration runs depends on it);
+                        # record it so slices through loop-carried control
+                        # flow are closed.
+                        deps[b].add(a)
+    return deps

@@ -1,0 +1,103 @@
+"""Runtime message model.
+
+The paper uniquely identifies each message by the tuple
+``<IPAddress, ProcessId, PerProcessSequenceNumber>`` (Section IV-A).
+:class:`MessageUid` reproduces that scheme; :class:`UidFactory` hands out
+per-process sequence numbers deterministically so simulations are
+repeatable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional
+
+from repro.errors import IRError
+
+
+@dataclass(frozen=True, order=True)
+class MessageUid:
+    """Globally unique message identifier.
+
+    Mirrors the paper's ``〈IPAddress, ProcessId, PerProcessSequenceNumber〉``
+    triple.  ``address`` is a simulated host address, ``process_id`` the
+    simulated process, and ``seq`` a per-process counter.
+    """
+
+    address: str
+    process_id: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"{self.address}/{self.process_id}#{self.seq}"
+
+
+class UidFactory:
+    """Deterministic producer of per-process message uids."""
+
+    def __init__(self, address: str, process_id: int) -> None:
+        if not address:
+            raise IRError("UidFactory requires a non-empty address")
+        self.address = address
+        self.process_id = int(process_id)
+        self._seq = itertools.count(1)
+
+    def next_uid(self) -> MessageUid:
+        return MessageUid(self.address, self.process_id, next(self._seq))
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message instance flowing between components.
+
+    Attributes
+    ----------
+    uid:
+        Unique identifier (see :class:`MessageUid`).
+    msg_type:
+        The message type; selects the destination handler.
+    src / dest:
+        Component names; ``src`` is :data:`~repro.lang.ir.EXTERNAL` for
+        customer requests and ``dest`` is :data:`~repro.lang.ir.CLIENT`
+        for responses.
+    fields:
+        Payload values by field name.
+    cause_uids:
+        Uids of the messages that *directly caused* this one (dynamic
+        control/data flow, Section III).  Empty for external requests and
+        for messages emitted by uninstrumented components.
+    root_uid:
+        Uid of the external request at the head of this message's causal
+        path, when known (propagated by the runtime for bookkeeping; DCA
+        itself reconstructs paths from ``cause_uids`` via the graph store).
+    sampled:
+        Whether this message belongs to a causal path selected for DCA
+        tracking (the sampling decision is made once, at the front end,
+        and inherited by all downstream messages — Section IV-D).
+    """
+
+    uid: MessageUid
+    msg_type: str
+    src: str
+    dest: str
+    fields: Mapping[str, object] = field(default_factory=dict)
+    cause_uids: FrozenSet[MessageUid] = frozenset()
+    root_uid: Optional[MessageUid] = None
+    sampled: bool = True
+
+    def with_causes(self, causes: FrozenSet[MessageUid]) -> "Message":
+        """Copy of this message with ``cause_uids`` replaced."""
+        return Message(
+            uid=self.uid,
+            msg_type=self.msg_type,
+            src=self.src,
+            dest=self.dest,
+            fields=dict(self.fields),
+            cause_uids=causes,
+            root_uid=self.root_uid,
+            sampled=self.sampled,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.msg_type}[{self.uid}] {self.src}->{self.dest}"

@@ -1,0 +1,11 @@
+"""Path profiling: Ball–Larus numbering and the causal-path profiler."""
+
+from repro.profiling.ball_larus import PathNumbering, ball_larus_numbering
+from repro.profiling.profiler import CausalPathProfiler, ProfileSnapshot
+
+__all__ = [
+    "CausalPathProfiler",
+    "PathNumbering",
+    "ProfileSnapshot",
+    "ball_larus_numbering",
+]

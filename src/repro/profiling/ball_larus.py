@@ -1,0 +1,138 @@
+"""Ball–Larus efficient path profiling (MICRO '96), on handler CFGs.
+
+The paper's causal-probability technique "builds on previous work and
+insights gained from path profiling [Ball–Larus] and preferential path
+profiling [Vaswani et al.]" (Section VI).  This module implements the
+classic Ball–Larus numbering: assign integer values to CFG edges such
+that the sum of edge values along any ENTRY→EXIT path is a unique path
+id in ``[0, num_paths)``; a single counter increment per edge then
+suffices to profile complete paths.
+
+Loops are handled the standard way: back edges are removed for numbering
+(each is logically replaced by the pair back-edge-source→EXIT and
+ENTRY→back-edge-target), so ids identify *acyclic* path segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import ProfilingError
+from repro.lang.cfg import CFG, ENTRY, EXIT
+
+
+@dataclass(frozen=True)
+class PathNumbering:
+    """Result of Ball–Larus numbering for one CFG.
+
+    ``num_paths`` counts distinct acyclic ENTRY→EXIT paths;
+    ``edge_values`` maps each (non-back) edge to its increment.
+    """
+
+    num_paths: int
+    edge_values: Dict[Tuple[int, int], int]
+    back_edges: Set[Tuple[int, int]]
+
+    def path_id(self, nodes: Sequence[int]) -> int:
+        """Path id of the node sequence ``nodes`` (must start at ENTRY).
+
+        Back edges reset accumulation (the BL treatment of loop
+        iterations as separate acyclic segments); the returned id is that
+        of the final segment.
+        """
+        if not nodes or nodes[0] != ENTRY:
+            raise ProfilingError("path must start at ENTRY")
+        total = 0
+        for src, dst in zip(nodes, nodes[1:]):
+            edge = (src, dst)
+            if edge in self.back_edges:
+                total = 0
+                continue
+            try:
+                total += self.edge_values[edge]
+            except KeyError:
+                raise ProfilingError(f"edge {edge} is not in the CFG") from None
+        return total
+
+
+def ball_larus_numbering(cfg: CFG) -> PathNumbering:
+    """Compute the Ball–Larus numbering of ``cfg``.
+
+    Runs in O(V + E): a DFS finds back edges, a reverse-topological pass
+    computes ``numPaths`` per node, and edge values follow directly.
+    """
+    back_edges = _find_back_edges(cfg)
+    order = _topological_order(cfg, back_edges)
+    num_paths: Dict[int, int] = {}
+    for node in reversed(order):
+        if node == EXIT:
+            num_paths[node] = 1
+            continue
+        succs = [s for s in sorted(cfg.succ[node]) if (node, s) not in back_edges]
+        if not succs:
+            num_paths[node] = 1
+        else:
+            num_paths[node] = sum(num_paths[s] for s in succs)
+    edge_values: Dict[Tuple[int, int], int] = {}
+    for node in order:
+        if node == EXIT:
+            continue
+        running = 0
+        for succ in sorted(cfg.succ[node]):
+            if (node, succ) in back_edges:
+                continue
+            edge_values[(node, succ)] = running
+            running += num_paths[succ]
+    return PathNumbering(
+        num_paths=num_paths.get(ENTRY, 0),
+        edge_values=edge_values,
+        back_edges=back_edges,
+    )
+
+
+def _find_back_edges(cfg: CFG) -> Set[Tuple[int, int]]:
+    """DFS back-edge detection from ENTRY (deterministic order)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {n: WHITE for n in cfg.nodes}
+    back: Set[Tuple[int, int]] = set()
+
+    stack: List[Tuple[int, List[int]]] = [(ENTRY, sorted(cfg.succ[ENTRY]))]
+    color[ENTRY] = GRAY
+    while stack:
+        node, succs = stack[-1]
+        if succs:
+            nxt = succs.pop(0)
+            if color[nxt] == GRAY:
+                back.add((node, nxt))
+            elif color[nxt] == WHITE:
+                color[nxt] = GRAY
+                stack.append((nxt, sorted(cfg.succ[nxt])))
+        else:
+            color[node] = BLACK
+            stack.pop()
+    return back
+
+
+def _topological_order(cfg: CFG, back_edges: Set[Tuple[int, int]]) -> List[int]:
+    """Topological order of the CFG with back edges removed."""
+    indeg: Dict[int, int] = {n: 0 for n in cfg.nodes}
+    for src in cfg.nodes:
+        for dst in cfg.succ[src]:
+            if (src, dst) not in back_edges:
+                indeg[dst] += 1
+    ready = sorted(n for n, d in indeg.items() if d == 0)
+    order: List[int] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for dst in sorted(cfg.succ[node]):
+            if (node, dst) in back_edges:
+                continue
+            indeg[dst] -= 1
+            if indeg[dst] == 0:
+                ready.append(dst)
+        ready.sort()
+    if len(order) != len(cfg.nodes):
+        raise ProfilingError("CFG (minus back edges) is not acyclic; numbering failed")
+    return order

@@ -1,0 +1,207 @@
+"""The causal-path profiler (Section IV-B/IV-C of the paper).
+
+The profiler runs on a monitoring host *external to the application*.
+It is seeded with every statically identified causal path (count zero);
+whenever the graph store completes a causal graph, the path's counter is
+incremented.  Counts are kept in a sliding time window (60 minutes by
+default, "configurable") and feed causal probability.
+
+Counting uses per-minute buckets per path, so recording is O(1) and
+reading is O(window) per path regardless of traffic volume.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.core.paths import PathSignature
+from repro.errors import ProfilingError
+
+
+@dataclass(frozen=True)
+class ProfileSnapshot:
+    """Path counts (and derived totals) at a point in time."""
+
+    time_minutes: float
+    window_minutes: float
+    counts: Mapping[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class CausalPathProfiler:
+    """Sliding-window per-path counters seeded from static enumeration.
+
+    Parameters
+    ----------
+    static_paths:
+        Request type → statically enumerated signatures; all are
+        registered with zero counts ("we store information about these
+        paths in the profiler … with their respective path counts set to
+        zero").
+    window_minutes:
+        Length of the causal-probability history window.
+    """
+
+    def __init__(
+        self,
+        static_paths: Mapping[str, Iterable[PathSignature]],
+        window_minutes: float = 60.0,
+    ) -> None:
+        if window_minutes <= 0:
+            raise ProfilingError(f"window_minutes must be positive, got {window_minutes}")
+        self.window_minutes = float(window_minutes)
+        self._paths: Dict[str, PathSignature] = {}
+        self._by_identity: Dict[Tuple[str, Tuple], str] = {}
+        for req_type, signatures in sorted(static_paths.items()):
+            for sig in signatures:
+                self._register(sig)
+        self.unmatched_observations = 0
+        self.dynamic_registrations = 0
+        # path_id -> OrderedDict[minute_bucket -> count]
+        self._buckets: Dict[str, "OrderedDict[int, int]"] = {pid: OrderedDict() for pid in self._paths}
+
+    # -- registration ----------------------------------------------------------
+
+    def _register(self, signature: PathSignature) -> str:
+        pid = signature.path_id
+        if pid not in self._paths:
+            self._paths[pid] = signature
+            self._by_identity[(signature.request_type, signature.edges)] = pid
+        return pid
+
+    def known_paths(self) -> Dict[str, PathSignature]:
+        """All registered paths by id (static seeds + dynamic additions)."""
+        return dict(self._paths)
+
+    def paths_for_request(self, request_type: str) -> List[PathSignature]:
+        return sorted(
+            (sig for sig in self._paths.values() if sig.request_type == request_type),
+            key=lambda s: s.edges,
+        )
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, signature: PathSignature, time_minutes: float, count: int = 1) -> str:
+        """Record ``count`` completions of ``signature`` at ``time_minutes``.
+
+        An observed signature not statically enumerated is registered
+        dynamically and counted (and tallied in
+        :attr:`dynamic_registrations` so tests can assert static coverage).
+        """
+        if count < 1:
+            raise ProfilingError(f"count must be >= 1, got {count}")
+        key = (signature.request_type, signature.edges)
+        pid = self._by_identity.get(key)
+        if pid is None:
+            pid = self._register(signature)
+            self._buckets[pid] = OrderedDict()
+            self.dynamic_registrations += 1
+            self.unmatched_observations += 1
+        bucket = int(time_minutes)
+        buckets = self._buckets[pid]
+        buckets[bucket] = buckets.get(bucket, 0) + count
+        self._prune(buckets, time_minutes)
+        return pid
+
+    def _prune(self, buckets: "OrderedDict[int, int]", now: float) -> None:
+        horizon = now - self.window_minutes
+        while buckets:
+            oldest = next(iter(buckets))
+            if oldest < horizon:
+                del buckets[oldest]
+            else:
+                break
+
+    # -- reading -----------------------------------------------------------------
+
+    def counts(self, now_minutes: float) -> Dict[str, int]:
+        """Per-path counts within the window ending at ``now_minutes``."""
+        horizon = now_minutes - self.window_minutes
+        out: Dict[str, int] = {}
+        for pid, buckets in self._buckets.items():
+            total = sum(c for minute, c in buckets.items() if horizon <= minute <= now_minutes)
+            out[pid] = total
+        return out
+
+    def counts_between(self, start_minutes: float, end_minutes: float) -> Dict[str, int]:
+        """Per-path counts in ``[start, end]`` (bounded by the window).
+
+        Elasticity managers use a short recent horizon for the *mix*
+        estimate (so they adapt to hot-path shifts) while the full window
+        backs the long-term causal probabilities; both reads share the
+        same buckets.
+        """
+        if end_minutes < start_minutes:
+            raise ProfilingError(f"empty interval [{start_minutes}, {end_minutes}]")
+        out: Dict[str, int] = {}
+        for pid, buckets in self._buckets.items():
+            total = sum(c for minute, c in buckets.items() if start_minutes <= minute <= end_minutes)
+            out[pid] = total
+        return out
+
+    def snapshot(self, now_minutes: float) -> ProfileSnapshot:
+        return ProfileSnapshot(
+            time_minutes=now_minutes,
+            window_minutes=self.window_minutes,
+            counts=self.counts(now_minutes),
+        )
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the profiler (paths + window + buckets) to JSON.
+
+        The profiler is the long-lived state of the elasticity system —
+        restarting the monitoring host must not lose the causal-probability
+        history, so deployments checkpoint it.
+        """
+        import json
+
+        payload = {
+            "window_minutes": self.window_minutes,
+            "paths": [
+                {
+                    "request_type": sig.request_type,
+                    "edges": [list(edge) for edge in sig.edges],
+                }
+                for sig in self._paths.values()
+            ],
+            "buckets": {
+                pid: sorted(buckets.items()) for pid, buckets in self._buckets.items()
+            },
+            "dynamic_registrations": self.dynamic_registrations,
+            "unmatched_observations": self.unmatched_observations,
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, data: str) -> "CausalPathProfiler":
+        """Restore a profiler checkpointed with :meth:`to_json`."""
+        import json
+
+        payload = json.loads(data)
+        signatures = [
+            PathSignature(
+                entry["request_type"],
+                tuple(tuple(edge) for edge in entry["edges"]),
+            )
+            for entry in payload["paths"]
+        ]
+        by_request: Dict[str, List[PathSignature]] = {}
+        for sig in signatures:
+            by_request.setdefault(sig.request_type, []).append(sig)
+        profiler = cls(by_request, window_minutes=payload["window_minutes"])
+        for pid, buckets in payload["buckets"].items():
+            if pid not in profiler._buckets:
+                raise ProfilingError(f"checkpoint references unknown path id {pid!r}")
+            profiler._buckets[pid] = OrderedDict(
+                (int(minute), int(count)) for minute, count in buckets
+            )
+        profiler.dynamic_registrations = int(payload.get("dynamic_registrations", 0))
+        profiler.unmatched_observations = int(payload.get("unmatched_observations", 0))
+        return profiler

@@ -1,0 +1,36 @@
+"""Discrete-time cluster simulator (the paper's testbed substitute)."""
+
+from repro.sim.cluster import Cluster, ComponentGroup, DeploymentSpec
+from repro.sim.engine import ClusterSimulator, DCABundle, SimulationConfig
+from repro.sim.metrics import ComponentInterval, IntervalRecord, SimulationResult
+from repro.sim.queueing import (
+    StationInterval,
+    latency_inflation,
+    nodes_required,
+    serve_interval,
+    utilization,
+)
+from repro.sim.replicas import ReplicaSpec, ReplicatedApplicationRuntime, ReplicatedTrace
+from repro.sim.runtime import ApplicationRuntime, RequestTrace
+
+__all__ = [
+    "ApplicationRuntime",
+    "Cluster",
+    "ClusterSimulator",
+    "ComponentGroup",
+    "ComponentInterval",
+    "DCABundle",
+    "DeploymentSpec",
+    "IntervalRecord",
+    "ReplicaSpec",
+    "ReplicatedApplicationRuntime",
+    "ReplicatedTrace",
+    "RequestTrace",
+    "SimulationConfig",
+    "SimulationResult",
+    "StationInterval",
+    "latency_inflation",
+    "nodes_required",
+    "serve_interval",
+    "utilization",
+]

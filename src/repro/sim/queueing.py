@@ -1,0 +1,88 @@
+"""Queueing approximations used by the cluster simulator.
+
+Each component replica group is modelled as a processor-sharing service
+station: a monitoring interval offers ``demand`` CPU-ms against
+``capacity`` CPU-ms, and the response-time inflation follows the classic
+M/M/1-style ``1 / (1 - ρ)`` curve, capped to keep saturated stations
+finite.  Backlog carried across intervals adds waiting time directly.
+
+These closed forms are the standard mesoscale substitute for per-request
+event simulation; the elasticity metrics (Agility, SLA violations) are
+interval-based, so only the interval-level relationships matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+#: Utilisation at which the latency curve is clamped (avoids infinities).
+RHO_CLAMP = 0.98
+
+#: Maximum latency inflation factor at/beyond the clamp.
+MAX_INFLATION = 50.0
+
+
+def utilization(demand_ms: float, capacity_ms: float) -> float:
+    """Offered utilisation ρ = demand / capacity (may exceed 1)."""
+    if demand_ms < 0:
+        raise SimulationError(f"demand must be >= 0, got {demand_ms}")
+    if capacity_ms <= 0:
+        raise SimulationError(f"capacity must be > 0, got {capacity_ms}")
+    return demand_ms / capacity_ms
+
+
+def latency_inflation(rho: float) -> float:
+    """Response-time multiplier for utilisation ``rho``.
+
+    ``1/(1-ρ)`` below the clamp; linear growth past saturation so that a
+    more-saturated station still reads as slower.
+    """
+    if rho < 0:
+        raise SimulationError(f"utilization must be >= 0, got {rho}")
+    if rho < RHO_CLAMP:
+        return min(MAX_INFLATION, 1.0 / (1.0 - rho))
+    return MAX_INFLATION + (rho - RHO_CLAMP) * 100.0
+
+
+@dataclass(frozen=True)
+class StationInterval:
+    """Result of pushing one interval of work through a station."""
+
+    served_ms: float
+    backlog_ms: float
+    rho: float
+    inflation: float
+
+
+def serve_interval(demand_ms: float, backlog_ms: float, capacity_ms: float) -> StationInterval:
+    """Serve ``demand + backlog`` against ``capacity`` for one interval.
+
+    Unserved work carries over as backlog; utilisation is computed on
+    offered (not served) load so saturation is visible to managers.
+    """
+    if backlog_ms < 0:
+        raise SimulationError(f"backlog must be >= 0, got {backlog_ms}")
+    offered = demand_ms + backlog_ms
+    rho = utilization(offered, capacity_ms)
+    served = min(offered, capacity_ms)
+    return StationInterval(
+        served_ms=served,
+        backlog_ms=offered - served,
+        rho=rho,
+        inflation=latency_inflation(rho),
+    )
+
+
+def nodes_required(demand_ms: float, node_capacity_ms: float, target_utilization: float) -> int:
+    """Minimum nodes so that demand runs at or below ``target_utilization``."""
+    if node_capacity_ms <= 0:
+        raise SimulationError(f"node capacity must be > 0, got {node_capacity_ms}")
+    if not 0.0 < target_utilization <= 1.0:
+        raise SimulationError(f"target_utilization must be in (0, 1], got {target_utilization}")
+    if demand_ms <= 0:
+        return 0
+    import math
+
+    return max(1, math.ceil(demand_ms / (node_capacity_ms * target_utilization)))

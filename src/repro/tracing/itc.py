@@ -1,0 +1,284 @@
+"""Interval Tree Clocks (Almeida, Baquero, Fonte; OPODIS 2008).
+
+The paper lists ITCs among the "optimized logical timestamps" used by
+recent tracing systems (Section III, refs [10][24]).  This is a faithful
+implementation of the fork–event–join model:
+
+* an **id tree** describes which interval of the unit range a stamp owns
+  (``0`` = none, ``1`` = all, ``(l, r)`` = split);
+* an **event tree** is an interval-indexed counter (``n`` or
+  ``(n, l, r)`` with base ``n`` and relative subtrees);
+* ``fork`` splits a stamp's id between two replicas, ``join`` merges two
+  stamps (ids and events), ``event`` inflates the event tree over the
+  stamp's own interval, and ``leq`` is the happens-before partial order.
+
+Like vector clocks, ITCs detect only *temporal* causality — the
+Fig. 3 false positive applies equally (see
+``tests/tracing/test_itc.py::TestFig3``) — but they need no static
+process enumeration, which is why tracing systems favour them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.errors import ReproError
+
+#: Id trees: 0 (no interval), 1 (whole interval), or a (left, right) pair.
+IdTree = Union[int, Tuple["IdTree", "IdTree"]]
+#: Event trees: an int, or (base, left, right) with relative subtrees.
+EventTree = Union[int, Tuple[int, "EventTree", "EventTree"]]
+
+
+# ---------------------------------------------------------------------------
+# Id trees
+# ---------------------------------------------------------------------------
+
+
+def norm_id(i: IdTree) -> IdTree:
+    """Normalise an id tree: ``(0, 0) → 0`` and ``(1, 1) → 1``."""
+    if isinstance(i, int):
+        if i not in (0, 1):
+            raise ReproError(f"id leaves must be 0 or 1, got {i}")
+        return i
+    left, right = norm_id(i[0]), norm_id(i[1])
+    if left == 0 and right == 0:
+        return 0
+    if left == 1 and right == 1:
+        return 1
+    return (left, right)
+
+
+def split_id(i: IdTree) -> Tuple[IdTree, IdTree]:
+    """Split an id into two disjoint ids covering the same interval."""
+    if i == 0:
+        return 0, 0
+    if i == 1:
+        return (1, 0), (0, 1)
+    left, right = i  # type: ignore[misc]
+    if left == 0:
+        r1, r2 = split_id(right)
+        return (0, r1), (0, r2)
+    if right == 0:
+        l1, l2 = split_id(left)
+        return (l1, 0), (l2, 0)
+    return (left, 0), (0, right)
+
+
+def sum_id(i1: IdTree, i2: IdTree) -> IdTree:
+    """Merge two disjoint ids; raises if they overlap."""
+    if i1 == 0:
+        return i2
+    if i2 == 0:
+        return i1
+    if isinstance(i1, int) or isinstance(i2, int):
+        raise ReproError("cannot join overlapping interval ids")
+    return norm_id((sum_id(i1[0], i2[0]), sum_id(i1[1], i2[1])))
+
+
+# ---------------------------------------------------------------------------
+# Event trees
+# ---------------------------------------------------------------------------
+
+
+def _lift(e: EventTree, m: int) -> EventTree:
+    if isinstance(e, int):
+        return e + m
+    return (e[0] + m, e[1], e[2])
+
+
+def _sink(e: EventTree, m: int) -> EventTree:
+    if isinstance(e, int):
+        if e < m:
+            raise ReproError(f"cannot sink event {e} by {m}")
+        return e - m
+    if e[0] < m:
+        raise ReproError(f"cannot sink event base {e[0]} by {m}")
+    return (e[0] - m, e[1], e[2])
+
+
+def min_event(e: EventTree) -> int:
+    """Smallest counter value anywhere under ``e``."""
+    if isinstance(e, int):
+        return e
+    return e[0] + min(min_event(e[1]), min_event(e[2]))
+
+
+def max_event(e: EventTree) -> int:
+    """Largest counter value anywhere under ``e``."""
+    if isinstance(e, int):
+        return e
+    return e[0] + max(max_event(e[1]), max_event(e[2]))
+
+
+def norm_event(e: EventTree) -> EventTree:
+    """Normalise: collapse equal-leaf nodes and sink common minimums."""
+    if isinstance(e, int):
+        return e
+    n, left, right = e[0], norm_event(e[1]), norm_event(e[2])
+    if isinstance(left, int) and isinstance(right, int) and left == right:
+        return n + left
+    m = min(min_event(left), min_event(right))
+    return (n + m, _sink(left, m), _sink(right, m))
+
+
+def leq_event(e1: EventTree, e2: EventTree) -> bool:
+    """The happens-before partial order on event trees."""
+    if isinstance(e1, int):
+        if isinstance(e2, int):
+            return e1 <= e2
+        return e1 <= e2[0]
+    n1, l1, r1 = e1
+    if isinstance(e2, int):
+        return (
+            n1 <= e2
+            and leq_event(_lift(l1, n1), e2)
+            and leq_event(_lift(r1, n1), e2)
+        )
+    n2, l2, r2 = e2
+    return (
+        n1 <= n2
+        and leq_event(_lift(l1, n1), _lift(l2, n2))
+        and leq_event(_lift(r1, n1), _lift(r2, n2))
+    )
+
+
+def join_event(e1: EventTree, e2: EventTree) -> EventTree:
+    """Least upper bound of two event trees."""
+    if isinstance(e1, int) and isinstance(e2, int):
+        return max(e1, e2)
+    if isinstance(e1, int):
+        return join_event((e1, 0, 0), e2)
+    if isinstance(e2, int):
+        return join_event(e1, (e2, 0, 0))
+    if e1[0] > e2[0]:
+        return join_event(e2, e1)
+    n1, l1, r1 = e1
+    n2, l2, r2 = e2
+    d = n2 - n1
+    return norm_event((n1, join_event(l1, _lift(l2, d)), join_event(r1, _lift(r2, d))))
+
+
+# -- inflation (the `event` operation) ----------------------------------------
+
+
+def _fill(i: IdTree, e: EventTree) -> EventTree:
+    if i == 0:
+        return e
+    if i == 1:
+        return max_event(e)
+    if isinstance(e, int):
+        return e
+    il, ir = i  # type: ignore[misc]
+    n, el, er = e
+    if il == 1:
+        er2 = _fill(ir, er)
+        return norm_event((n, max(max_event(el), min_event(er2)), er2))
+    if ir == 1:
+        el2 = _fill(il, el)
+        return norm_event((n, el2, max(max_event(er), min_event(el2))))
+    return norm_event((n, _fill(il, el), _fill(ir, er)))
+
+
+_GROW_DEPTH_COST = 1_000
+
+
+def _grow(i: IdTree, e: EventTree) -> Tuple[EventTree, int]:
+    if i == 1 and isinstance(e, int):
+        return e + 1, 0
+    if isinstance(e, int):
+        if i == 0:
+            raise ReproError("a stamp with id 0 cannot record events")
+        e2, cost = _grow(i, (e, 0, 0))
+        return e2, cost + _GROW_DEPTH_COST
+    if isinstance(i, int):
+        raise ReproError("malformed grow: integer id over event tree")
+    il, ir = i
+    n, el, er = e
+    if il == 0:
+        er2, cost = _grow(ir, er)
+        return (n, el, er2), cost + 1
+    if ir == 0:
+        el2, cost = _grow(il, el)
+        return (n, el2, er), cost + 1
+    el2, cost_l = _grow(il, el)
+    er2, cost_r = _grow(ir, er)
+    if cost_l < cost_r:
+        return (n, el2, er), cost_l + 1
+    return (n, el, er2), cost_r + 1
+
+
+# ---------------------------------------------------------------------------
+# Stamps
+# ---------------------------------------------------------------------------
+
+
+class Stamp:
+    """An ITC stamp: an interval id plus an event tree.
+
+    Immutable in style: every operation returns new stamps.
+    """
+
+    __slots__ = ("id_tree", "event_tree")
+
+    def __init__(self, id_tree: IdTree = 1, event_tree: EventTree = 0) -> None:
+        self.id_tree = norm_id(id_tree)
+        self.event_tree = norm_event(event_tree)
+
+    # -- core operations ----------------------------------------------------
+
+    @classmethod
+    def seed(cls) -> "Stamp":
+        """The initial stamp ``(1, 0)`` owning the whole interval."""
+        return cls(1, 0)
+
+    def fork(self) -> Tuple["Stamp", "Stamp"]:
+        """Split this stamp into two with disjoint ids and equal history."""
+        i1, i2 = split_id(self.id_tree)
+        return Stamp(i1, self.event_tree), Stamp(i2, self.event_tree)
+
+    def peek(self) -> "Stamp":
+        """An anonymous (id 0) copy for message timestamps."""
+        return Stamp(0, self.event_tree)
+
+    def event(self) -> "Stamp":
+        """Record a local event: strictly inflates the event tree."""
+        if self.id_tree == 0:
+            raise ReproError("an anonymous stamp (id 0) cannot record events")
+        filled = _fill(self.id_tree, self.event_tree)
+        if filled != self.event_tree:
+            return Stamp(self.id_tree, filled)
+        grown, _ = _grow(self.id_tree, self.event_tree)
+        return Stamp(self.id_tree, grown)
+
+    def join(self, other: "Stamp") -> "Stamp":
+        """Merge two stamps (message receive: ``local.join(msg.peek())``)."""
+        return Stamp(
+            sum_id(self.id_tree, other.id_tree),
+            join_event(self.event_tree, other.event_tree),
+        )
+
+    # -- ordering ------------------------------------------------------------
+
+    def leq(self, other: "Stamp") -> bool:
+        """Happens-before-or-equal on the recorded histories."""
+        return leq_event(self.event_tree, other.event_tree)
+
+    def happens_before(self, other: "Stamp") -> bool:
+        return self.leq(other) and not other.leq(self)
+
+    def concurrent_with(self, other: "Stamp") -> bool:
+        return not self.leq(other) and not other.leq(self)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Stamp):
+            return NotImplemented
+        return self.id_tree == other.id_tree and self.event_tree == other.event_tree
+
+    def __hash__(self) -> int:
+        return hash((repr(self.id_tree), repr(self.event_tree)))
+
+    def __repr__(self) -> str:
+        return f"Stamp(id={self.id_tree!r}, event={self.event_tree!r})"

@@ -1,0 +1,28 @@
+"""Workload patterns (Figure 7) and request generation."""
+
+from repro.workloads.generator import RequestClass, WorkloadGenerator
+from repro.workloads.patterns import (
+    RUN_MINUTES,
+    MixPhase,
+    ScaledPattern,
+    StepMixSchedule,
+    abrupt_pattern,
+    cyclic_pattern,
+    paper_pattern,
+    stepwise_cyclic_pattern,
+    uniform_mix,
+)
+
+__all__ = [
+    "RUN_MINUTES",
+    "MixPhase",
+    "RequestClass",
+    "ScaledPattern",
+    "StepMixSchedule",
+    "WorkloadGenerator",
+    "abrupt_pattern",
+    "cyclic_pattern",
+    "paper_pattern",
+    "stepwise_cyclic_pattern",
+    "uniform_mix",
+]

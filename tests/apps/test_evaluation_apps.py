@@ -1,0 +1,105 @@
+"""Tests for the three evaluation applications (Marketcetera, Hedwig,
+Zookeeper) and their scenario configurations."""
+
+import pytest
+
+from repro.apps import hedwig, marketcetera, zookeeper
+from repro.apps.hedwig import DELIVERY_FANOUT
+from repro.apps.zookeeper import QUORUM
+from repro.core.dca import analyze_application
+from repro.core.elasticity import detect_serialization_suspects
+from repro.core.paths import enumerate_causal_paths
+from repro.sim.runtime import ApplicationRuntime
+
+
+class TestMarketcetera:
+    def test_four_request_classes(self):
+        assert len(marketcetera.request_classes()) == 4
+
+    def test_order_submit_path(self, trading_app):
+        runtime = ApplicationRuntime(trading_app)
+        trace = runtime.execute_request(marketcetera.request_classes()[0])
+        assert {"fix-gateway", "risk-engine", "order-router", "matching-engine",
+                "position-tracker", "settlement"} <= trace.components
+        assert trace.responses == 1
+
+    def test_cancel_path_is_cheap(self, trading_app):
+        runtime = ApplicationRuntime(trading_app)
+        submit = runtime.execute_request(marketcetera.request_classes()[0])
+        cancel = runtime.execute_request(marketcetera.request_classes()[1])
+        assert cancel.total_messages() < submit.total_messages()
+        assert "risk-engine" not in cancel.components
+
+    def test_strategy_eval_reenters_risk_path(self, trading_app):
+        runtime = ApplicationRuntime(trading_app)
+        trace = runtime.execute_request(marketcetera.request_classes()[3])
+        assert "strategy-engine" in trace.components
+        assert "risk-engine" in trace.components
+
+    def test_risk_exposure_is_tracked(self, trading_app):
+        result = analyze_application(trading_app)
+        assert "exposure" in result.per_component["risk-engine"].v_tr
+
+    def test_deployments_cover_all_components(self, trading_app):
+        assert set(marketcetera.deployments()) == set(trading_app.components)
+
+    def test_magnitudes_ordered(self):
+        low, high = marketcetera.magnitudes()
+        assert 0 < low < high
+
+
+class TestHedwig:
+    def test_publish_fans_out_to_subscribers(self, pubsub_app):
+        runtime = ApplicationRuntime(pubsub_app)
+        trace = runtime.execute_request(hedwig.request_classes()[0])
+        assert trace.responses == DELIVERY_FANOUT
+        assert {"hub", "topic-manager", "persistence", "delivery"} <= trace.components
+
+    def test_subscribe_and_unsubscribe_share_path_shape(self, pubsub_app):
+        runtime = ApplicationRuntime(pubsub_app)
+        sub = runtime.execute_request(hedwig.request_classes()[1])
+        unsub = runtime.execute_request(hedwig.request_classes()[2])
+        assert sub.components == unsub.components
+        assert sub.signature != unsub.signature  # different message types
+
+    def test_consume_reads_through_persistence(self, pubsub_app):
+        runtime = ApplicationRuntime(pubsub_app)
+        trace = runtime.execute_request(hedwig.request_classes()[3])
+        assert "persistence" in trace.components
+        assert "topic-manager" not in trace.components
+
+    def test_deployments_cover_all_components(self, pubsub_app):
+        assert set(hedwig.deployments()) == set(pubsub_app.components)
+
+
+class TestZookeeper:
+    def test_write_path_hits_quorum(self, coord_app):
+        runtime = ApplicationRuntime(coord_app)
+        trace = runtime.execute_request(zookeeper.request_classes()[1])
+        # QUORUM appends + 1 commit.
+        assert trace.component_messages["quorum-log"] == QUORUM + 1
+        assert trace.responses == 2  # write_response + watch_event
+
+    def test_read_path_avoids_leader(self, coord_app):
+        runtime = ApplicationRuntime(coord_app)
+        trace = runtime.execute_request(zookeeper.request_classes()[0])
+        assert "leader" not in trace.components
+        assert "quorum-log" not in trace.components
+
+    def test_quorum_log_is_serialization_suspect(self, coord_app):
+        assert detect_serialization_suspects(coord_app) == {"quorum-log"}
+
+    def test_quorum_log_deployment_serial_limit(self):
+        spec = zookeeper.deployments()["quorum-log"]
+        assert spec.serial_limit is not None
+
+    def test_static_paths_per_request_type(self, coord_app):
+        paths = enumerate_causal_paths(coord_app)
+        assert set(paths) == {"zk_read", "zk_write", "zk_session"}
+
+
+class TestMixSchedules:
+    @pytest.mark.parametrize("module", [marketcetera, hedwig, zookeeper])
+    def test_mix_references_declared_classes(self, module):
+        class_names = {c.name for c in module.request_classes()}
+        assert set(module.mix_schedule().class_names()) <= class_names

@@ -1,0 +1,97 @@
+"""Unit tests for the CloudWatch baseline."""
+
+import pytest
+
+from repro.autoscale.cloudwatch import CloudWatchConfig, CloudWatchManager
+from repro.autoscale.manager import ClusterObservation, ComponentObservation
+from repro.core.regression import MachineSpec
+from repro.errors import ElasticityError
+
+MACHINE = MachineSpec(capacity_ms_per_minute=1_000.0)
+
+
+def _obs(time=0.0, comps=None, arrivals=100.0):
+    return ClusterObservation(
+        time_minutes=time,
+        external_arrivals_per_min=arrivals,
+        components=comps or {},
+        machine=MACHINE,
+        sla_latency_ms=200.0,
+        app_latency_ms=50.0,
+        app_throughput_per_min=arrivals,
+    )
+
+
+def _comp(name, nodes=10, util=0.5, pending=0):
+    return ComponentObservation(component=name, nodes=nodes, pending_nodes=pending, utilization=util)
+
+
+class TestConfig:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ElasticityError):
+            CloudWatchConfig(high_utilization=0.3, low_utilization=0.5)
+
+
+class TestPolicy:
+    def test_steady_state_holds(self):
+        manager = CloudWatchManager()
+        obs = _obs(comps={"a": _comp("a", util=0.5), "b": _comp("b", util=0.5)})
+        decision = manager.decide(obs)
+        assert decision.targets == {"a": 10, "b": 10}
+
+    def test_scale_up_above_high_threshold(self):
+        manager = CloudWatchManager()
+        obs = _obs(comps={"a": _comp("a", util=0.9), "b": _comp("b", util=0.9)})
+        decision = manager.decide(obs)
+        assert sum(decision.targets.values()) > 20
+
+    def test_scale_down_below_low_threshold(self):
+        manager = CloudWatchManager()
+        obs = _obs(comps={"a": _comp("a", util=0.1), "b": _comp("b", util=0.1)})
+        decision = manager.decide(obs)
+        assert sum(decision.targets.values()) < 20
+
+    def test_uniform_scaling_preserves_proportions(self):
+        """CloudWatch scales all components by the same factor — the
+        paper's core criticism (Section IV-C example)."""
+        manager = CloudWatchManager()
+        obs = _obs(comps={"big": _comp("big", nodes=20, util=0.9), "small": _comp("small", nodes=5, util=0.9)})
+        decision = manager.decide(obs)
+        ratio = decision.targets["big"] / decision.targets["small"]
+        assert ratio == pytest.approx(4.0, rel=0.25)
+
+    def test_cooldown_blocks_consecutive_actions(self):
+        manager = CloudWatchManager(CloudWatchConfig(cooldown_minutes=5.0))
+        hot = _obs(time=0.0, comps={"a": _comp("a", util=0.9)})
+        first = manager.decide(hot)
+        assert sum(first.targets.values()) > 10
+        hot2 = _obs(time=1.0, comps={"a": _comp("a", util=0.9)})
+        second = manager.decide(hot2)
+        assert second.targets["a"] == 10  # in cooldown: hold
+
+    def test_action_allowed_after_cooldown(self):
+        manager = CloudWatchManager(CloudWatchConfig(cooldown_minutes=5.0))
+        manager.decide(_obs(time=0.0, comps={"a": _comp("a", util=0.9)}))
+        later = manager.decide(_obs(time=6.0, comps={"a": _comp("a", util=0.9)}))
+        assert later.targets["a"] > 10
+
+    def test_scale_up_jump_capped(self):
+        manager = CloudWatchManager()
+        obs = _obs(comps={"a": _comp("a", nodes=10, util=5.0)})
+        decision = manager.decide(obs)
+        cap = 10 * (1 + manager.config.max_scale_up_fraction)
+        assert decision.targets["a"] <= cap + 1
+
+    def test_zero_node_cluster_rejected(self):
+        manager = CloudWatchManager()
+        with pytest.raises(ElasticityError):
+            manager.decide(_obs(comps={"a": _comp("a", nodes=0)}))
+
+    def test_capacity_model_trains_on_intervals(self):
+        manager = CloudWatchManager()
+        for t in range(10):
+            manager.on_interval_end(_obs(time=float(t), comps={"a": _comp("a", util=0.6)}))
+        assert manager.capacity_model.ready()
+
+    def test_no_overhead(self):
+        assert CloudWatchManager().runtime_overhead_fraction() == 0.0

@@ -1,0 +1,108 @@
+"""Unit tests for the ElasticRMI baseline."""
+
+import pytest
+
+from repro.autoscale.elasticrmi import ElasticRMIConfig, ElasticRMIManager
+from repro.autoscale.manager import ClusterObservation, ComponentObservation
+from repro.core.regression import MachineSpec
+from repro.errors import ElasticityError
+
+MACHINE = MachineSpec(capacity_ms_per_minute=1_000.0)
+
+
+def _obs(comps):
+    return ClusterObservation(
+        time_minutes=0.0,
+        external_arrivals_per_min=100.0,
+        components=comps,
+        machine=MACHINE,
+        sla_latency_ms=200.0,
+    )
+
+
+def _comp(name, nodes=5, demand=2_000.0, queue=0.0, contention=0.0, arrivals=100.0, pending=0):
+    return ComponentObservation(
+        component=name,
+        nodes=nodes,
+        pending_nodes=pending,
+        utilization=demand / (nodes * 1_000.0),
+        arrivals_per_min=arrivals,
+        queue_depth=queue,
+        service_demand_ms=demand,
+        lock_contention=contention,
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ElasticityError):
+            ElasticRMIConfig(target_utilization=0)
+        with pytest.raises(ElasticityError):
+            ElasticRMIConfig(demand_ewma_alpha=0)
+
+
+class TestSizing:
+    def test_per_component_sizing_from_internal_demand(self):
+        manager = ElasticRMIManager(ElasticRMIConfig(demand_ewma_alpha=1.0))
+        obs = _obs({"hot": _comp("hot", nodes=2, demand=4_000.0)})
+        decision = manager.decide(obs)
+        # 4000ms / (1000 × 0.93) ≈ 4.3 → 5, capped by the ramp limiter.
+        assert decision.targets["hot"] > 2
+
+    def test_ramp_limiter_caps_single_step(self):
+        manager = ElasticRMIManager(ElasticRMIConfig(demand_ewma_alpha=1.0, max_scale_up_fraction=0.15))
+        obs = _obs({"hot": _comp("hot", nodes=10, demand=50_000.0)})
+        decision = manager.decide(obs)
+        assert decision.targets["hot"] <= 12  # +15% of 10, rounded up
+
+    def test_queue_backlog_adds_demand(self):
+        manager = ElasticRMIManager(ElasticRMIConfig(demand_ewma_alpha=1.0))
+        calm = manager.decide(_obs({"a": _comp("a", nodes=4, demand=2_000.0)}))
+        manager2 = ElasticRMIManager(ElasticRMIConfig(demand_ewma_alpha=1.0))
+        backlogged = manager2.decide(
+            _obs({"a": _comp("a", nodes=4, demand=2_000.0, queue=200.0)})
+        )
+        assert backlogged.targets["a"] >= calm.targets["a"]
+
+    def test_hysteresis_holds_on_moderate_drop(self):
+        manager = ElasticRMIManager(ElasticRMIConfig(demand_ewma_alpha=1.0))
+        obs = _obs({"a": _comp("a", nodes=10, demand=5_000.0)})  # needs ~6
+        decision = manager.decide(obs)
+        assert decision.targets["a"] == 10  # within hysteresis band: hold
+
+    def test_release_on_deep_drop(self):
+        manager = ElasticRMIManager(ElasticRMIConfig(demand_ewma_alpha=1.0))
+        obs = _obs({"a": _comp("a", nodes=10, demand=500.0)})  # needs ~1
+        decision = manager.decide(obs)
+        assert decision.targets["a"] < 10
+
+
+class TestLockAwareness:
+    def test_contended_component_not_scaled(self):
+        manager = ElasticRMIManager()
+        obs = _obs({"lock": _comp("lock", nodes=3, demand=30_000.0, contention=0.9)})
+        decision = manager.decide(obs)
+        assert decision.targets["lock"] == 3
+
+    def test_below_threshold_scales_normally(self):
+        manager = ElasticRMIManager(ElasticRMIConfig(demand_ewma_alpha=1.0))
+        obs = _obs({"a": _comp("a", nodes=3, demand=30_000.0, contention=0.2)})
+        decision = manager.decide(obs)
+        assert decision.targets["a"] > 3
+
+
+class TestSmoothing:
+    def test_ewma_lags_demand_spikes(self):
+        """No workload history ⇒ the manager trails a sudden spike."""
+        manager = ElasticRMIManager(ElasticRMIConfig(demand_ewma_alpha=0.35, max_scale_up_fraction=10.0))
+        calm = _obs({"a": _comp("a", nodes=4, demand=1_000.0)})
+        for _ in range(5):
+            manager.decide(calm)
+        spike = _obs({"a": _comp("a", nodes=4, demand=8_000.0)})
+        first = manager.decide(spike)
+        # Instant reaction would ask for ceil(8000/930) = 9; the EWMA sees
+        # far less on the first spike interval.
+        assert first.targets["a"] < 9
+        for _ in range(8):
+            last = manager.decide(spike)
+        assert last.targets["a"] >= 9  # converges eventually

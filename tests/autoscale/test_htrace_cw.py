@@ -1,0 +1,81 @@
+"""Unit tests for the HTrace+CloudWatch baseline."""
+
+import pytest
+
+from repro.autoscale.htrace_cw import HTraceCloudWatchManager, HTraceConfig
+from repro.autoscale.manager import ClusterObservation, ComponentObservation
+from repro.core.regression import MachineSpec
+from repro.errors import ElasticityError
+from repro.tracing.htrace import HTraceCollector
+
+MACHINE = MachineSpec(capacity_ms_per_minute=1_000.0)
+
+
+def _obs(comps, time=0.0):
+    return ClusterObservation(
+        time_minutes=time,
+        external_arrivals_per_min=100.0,
+        components=comps,
+        machine=MACHINE,
+        sla_latency_ms=200.0,
+    )
+
+
+def _comp(name, nodes=10, util=0.5, pending=0):
+    return ComponentObservation(component=name, nodes=nodes, pending_nodes=pending, utilization=util)
+
+
+def _collector_with_weights():
+    collector = HTraceCollector()
+    collector.observe_interval(
+        {"hot_class": 80.0, "cold_class": 20.0},
+        {"hot_class": {"hot": 50.0}, "cold_class": {"cold": 10.0}},
+    )
+    return collector
+
+
+class TestConfig:
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ElasticityError):
+            HTraceConfig(span_overhead_fraction=-0.1)
+
+
+class TestPolicy:
+    def test_span_overhead_reported(self):
+        manager = HTraceCloudWatchManager(HTraceCollector())
+        assert manager.runtime_overhead_fraction() == pytest.approx(0.02)
+
+    def test_distribution_follows_span_weights(self):
+        manager = HTraceCloudWatchManager(_collector_with_weights())
+        obs = _obs({"hot": _comp("hot"), "cold": _comp("cold")})
+        decision = manager.decide(obs)
+        assert decision.targets["hot"] > decision.targets["cold"]
+
+    def test_uniform_fallback_without_weights(self):
+        manager = HTraceCloudWatchManager(HTraceCollector())
+        obs = _obs({"a": _comp("a"), "b": _comp("b")})
+        decision = manager.decide(obs)
+        assert decision.targets["a"] == decision.targets["b"]
+
+    def test_pending_nodes_preserved(self):
+        """Redistribution must not cancel in-flight provisioning."""
+        manager = HTraceCloudWatchManager(_collector_with_weights())
+        obs = _obs({"hot": _comp("hot", nodes=10, pending=6, util=0.5), "cold": _comp("cold", util=0.5)})
+        decision = manager.decide(obs)
+        assert sum(decision.targets.values()) >= 26
+
+    def test_infrastructure_node_charged(self):
+        manager = HTraceCloudWatchManager(HTraceCollector())
+        obs = _obs({"a": _comp("a")})
+        assert manager.decide(obs).infrastructure_nodes == 1
+
+    def test_zero_nodes_rejected(self):
+        manager = HTraceCloudWatchManager(HTraceCollector())
+        with pytest.raises(ElasticityError):
+            manager.decide(_obs({"a": _comp("a", nodes=0)}))
+
+    def test_scale_up_when_hot(self):
+        manager = HTraceCloudWatchManager(_collector_with_weights())
+        obs = _obs({"hot": _comp("hot", util=0.9), "cold": _comp("cold", util=0.9)})
+        decision = manager.decide(obs)
+        assert sum(decision.targets.values()) > 20

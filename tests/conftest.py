@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ecommerce, fig4, hedwig, marketcetera, universal_search, zookeeper
+from repro.core.dca import analyze_application
+from repro.lang.builder import AppBuilder, ComponentBuilder, field, var
+from repro.lang.ir import CLIENT
+
+
+@pytest.fixture(scope="session")
+def fig4_app():
+    return fig4.build()
+
+
+@pytest.fixture(scope="session")
+def fig4_dca(fig4_app):
+    return analyze_application(fig4_app)
+
+
+@pytest.fixture(scope="session")
+def search_app():
+    return universal_search.build()
+
+
+@pytest.fixture(scope="session")
+def shop_app():
+    return ecommerce.build()
+
+
+@pytest.fixture(scope="session")
+def trading_app():
+    return marketcetera.build()
+
+
+@pytest.fixture(scope="session")
+def pubsub_app():
+    return hedwig.build()
+
+
+@pytest.fixture(scope="session")
+def coord_app():
+    return zookeeper.build()
+
+
+@pytest.fixture()
+def pipeline_app():
+    """A tiny 3-stage pipeline used by many unit tests.
+
+    A → B → C → client; A also writes a local-only statistics variable
+    that must not end up in V_tr.
+    """
+    a = ComponentBuilder("A", service_cost=5.0).state("acc", 0).state("stats", 0)
+    with a.on("start", "m") as h:
+        h.assign("acc", var("acc") + field("m", "x"))
+        h.assign("stats", var("stats") + 1)
+        h.send("mid", "B", {"v": var("acc")})
+    b = ComponentBuilder("B", service_cost=5.0).state("last", 0)
+    with b.on("mid", "m") as h:
+        h.assign("last", field("m", "v"))
+        h.send("end", "C", {"v": var("last") * 2})
+    c = ComponentBuilder("C", service_cost=5.0)
+    with c.on("end", "m") as h:
+        h.send("done", CLIENT, {"v": field("m", "v")})
+    return (
+        AppBuilder("pipeline")
+        .component(a)
+        .component(b)
+        .component(c)
+        .entry("start", "A")
+        .build()
+    )

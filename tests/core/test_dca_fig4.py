@@ -1,0 +1,96 @@
+"""The paper's Fig. 4 worked example, end to end.
+
+These tests pin the exact behaviour the paper illustrates:
+``V_out(Comp1) = {z}``, writes to ``p`` and ``q`` are ignored, and
+``{msg1[x:150], msg2[y:200]} ⟶ msg3[s:22500]``.
+"""
+
+import pytest
+
+from repro.apps import fig4
+from repro.core.dca import analyze_application
+from repro.core.instrument import InstrumentedComponent
+from repro.lang.ir import EXTERNAL
+from repro.lang.message import Message, UidFactory
+
+
+@pytest.fixture()
+def setup(fig4_app, fig4_dca):
+    comp1 = InstrumentedComponent(
+        fig4_app.components["Comp1"], fig4_dca.per_component["Comp1"], fig4_app.library
+    )
+    return fig4_app, fig4_dca, comp1
+
+
+class TestFig4Statics:
+    def test_v_out_is_z(self, fig4_dca):
+        assert fig4_dca.per_component["Comp1"].v_out == frozenset({"z"})
+
+    def test_v_tr_is_z(self, fig4_dca):
+        assert fig4_dca.per_component["Comp1"].v_tr == frozenset({"z"})
+
+    def test_msg1_v_in_includes_p_but_tracked_only_z(self, fig4_dca):
+        analysis = fig4_dca.per_component["Comp1"]
+        assert analysis.v_in["msg1"] == frozenset({"p", "z"})
+        assert analysis.v_tr_by_msg["msg1"] == frozenset({"z"})
+
+    def test_msg2_write_to_q_ignored(self, fig4_dca):
+        analysis = fig4_dca.per_component["Comp1"]
+        assert analysis.v_in["msg2"] == frozenset({"q"})
+        assert analysis.v_tr_by_msg["msg2"] == frozenset()
+
+    def test_comp2_tracks_nothing(self, fig4_dca):
+        assert fig4_dca.per_component["Comp2"].v_tr == frozenset()
+
+    def test_send_slice_of_msg3(self, fig4_dca):
+        slices = fig4_dca.per_component["Comp1"].send_slices["msg2"]
+        (sl,) = slices
+        assert sl.send_msg_type == "msg3"
+        assert sl.s_out == frozenset({"z"})
+        assert sl.uses_message  # the if-condition reads msg2.y
+
+
+class TestFig4Dynamics:
+    def _run(self, comp1, x=150, y=200):
+        state = comp1.new_state()
+        ext = UidFactory("client", 0)
+        uids = UidFactory("10.0.0.1", 1)
+        m1 = Message(ext.next_uid(), "msg1", EXTERNAL, "Comp1", {"x": x})
+        m2 = Message(ext.next_uid(), "msg2", EXTERNAL, "Comp1", {"y": y})
+        o1 = comp1.handle(state, m1, uids)
+        o2 = comp1.handle(state, m2, uids)
+        return m1, m2, o1, o2
+
+    def test_msg3_payload_is_22500(self, setup):
+        _, _, comp1 = setup
+        _, _, _, o2 = self._run(comp1)
+        assert o2.outcome.emitted[0].fields["s"] == 22500
+
+    def test_msg3_caused_by_both_messages(self, setup):
+        _, _, comp1 = setup
+        m1, m2, _, o2 = self._run(comp1)
+        assert o2.outcome.emitted[0].cause_uids == frozenset({m1.uid, m2.uid})
+
+    def test_negative_y_suppresses_emission(self, setup):
+        _, _, comp1 = setup
+        _, _, _, o2 = self._run(comp1, y=-5)
+        assert o2.outcome.emitted == []
+
+    def test_only_z_write_is_tracked(self, setup):
+        _, _, comp1 = setup
+        _, _, o1, o2 = self._run(comp1)
+        # msg1 writes z (tracked) and p (untracked): one store operation.
+        assert o1.outcome.tracked_writes == 1
+        assert o1.outcome.total_writes == 2
+        # msg2 writes only q (untracked).
+        assert o2.outcome.tracked_writes == 0
+
+    def test_instrumentation_cost_charged_only_when_sampled(self, setup):
+        _, _, comp1 = setup
+        state = comp1.new_state()
+        uids = UidFactory("10.0.0.1", 1)
+        m = Message(
+            UidFactory("c", 0).next_uid(), "msg1", EXTERNAL, "Comp1", {"x": 1}, sampled=False
+        )
+        outcome = comp1.handle(state, m, uids)
+        assert outcome.instrumentation_ms == 0.0

@@ -1,0 +1,113 @@
+"""Additional DCA-manager paths: capacity floor, forecast, contention signal."""
+
+import pytest
+
+from repro.autoscale.manager import ClusterObservation, ComponentObservation
+from repro.core.elasticity import DCAElasticityManager, DCAManagerConfig
+from repro.core.regression import LinearCapacityModel, MachineSpec
+from repro.core.paths import signature_from_edges
+from repro.lang.ir import CLIENT, EXTERNAL
+from repro.profiling.profiler import CausalPathProfiler
+
+MACHINE = MachineSpec(capacity_ms_per_minute=1_875.0)
+
+
+def _profiler():
+    sig = signature_from_edges(
+        "go", [(EXTERNAL, "go", "front"), ("front", "x", "mid"), ("mid", "done", CLIENT)]
+    )
+    return CausalPathProfiler({"go": [sig]}), sig
+
+
+def _obs(time=10.0, arrivals=300.0, comps=None, latency=100.0):
+    return ClusterObservation(
+        time_minutes=time,
+        external_arrivals_per_min=arrivals,
+        components=comps or {},
+        machine=MACHINE,
+        sla_latency_ms=500.0,
+        app_latency_ms=latency,
+        app_throughput_per_min=arrivals,
+    )
+
+
+def _comp(name, nodes=5, util=0.75, pending=0):
+    return ComponentObservation(component=name, nodes=nodes, pending_nodes=pending, utilization=util)
+
+
+class TestForecast:
+    def test_forecast_extrapolates_rising_trend(self):
+        profiler, _ = _profiler()
+        manager = DCAElasticityManager(profiler, MACHINE)
+        obs1 = _obs(arrivals=100.0, comps={"front": _comp("front")})
+        manager.decide(obs1)
+        manager.on_interval_end(obs1)
+        # Next interval: arrivals jumped to 120; forecast should exceed 120.
+        assert manager._forecast_arrivals(120.0) > 120.0
+
+    def test_forecast_ignores_falling_trend(self):
+        profiler, _ = _profiler()
+        manager = DCAElasticityManager(profiler, MACHINE)
+        obs1 = _obs(arrivals=200.0, comps={"front": _comp("front")})
+        manager.decide(obs1)
+        manager.on_interval_end(obs1)
+        assert manager._forecast_arrivals(100.0) == pytest.approx(100.0)
+
+    def test_forecast_capped(self):
+        profiler, _ = _profiler()
+        config = DCAManagerConfig(max_forecast_ratio=1.2)
+        manager = DCAElasticityManager(profiler, MACHINE, config=config)
+        obs1 = _obs(arrivals=10.0, comps={"front": _comp("front")})
+        manager.decide(obs1)
+        manager.on_interval_end(obs1)
+        assert manager._forecast_arrivals(1_000.0) <= 1_200.0 + 1e-9
+
+
+class TestCapacityFloor:
+    def _trained_manager(self, profiler):
+        model = LinearCapacityModel()
+        # Teach the model that this workload needs ~40 machines.
+        for i in range(12):
+            model.observe(MACHINE, workload=300.0, throughput=290.0, latency_ms=100.0,
+                          machines_needed=40.0)
+        return DCAElasticityManager(profiler, MACHINE, capacity_model=model)
+
+    def test_floor_tops_up_underallocation(self):
+        profiler, sig = _profiler()
+        manager = self._trained_manager(profiler)
+        profiler.record(sig, 9.0, count=200)
+        # Current targets would be tiny (2 nodes); the model says 40.
+        obs = _obs(comps={"front": _comp("front", nodes=1, util=0.5),
+                          "mid": _comp("mid", nodes=1, util=0.5)})
+        decision = manager.decide(obs)
+        assert sum(decision.targets.values()) >= 0.85 * 40
+
+    def test_floor_inactive_when_targets_sufficient(self):
+        profiler, sig = _profiler()
+        manager = self._trained_manager(profiler)
+        profiler.record(sig, 9.0, count=200)
+        obs = _obs(comps={"front": _comp("front", nodes=30, util=0.74),
+                          "mid": _comp("mid", nodes=30, util=0.74)})
+        decision = manager.decide(obs)
+        # No huge top-up beyond the κ-sizing.
+        assert sum(decision.targets.values()) <= 75
+
+
+class TestEngineContention:
+    def test_lock_contention_signal(self):
+        from repro.sim.cluster import ComponentGroup, DeploymentSpec
+        from repro.sim.engine import ClusterSimulator
+
+        serial = ComponentGroup("q", DeploymentSpec(initial_nodes=5, serial_limit=3))
+        # offered >> serial capacity ⇒ contention near 1.
+        high = ClusterSimulator._lock_contention(serial, offered_ms=3 * 1_000 * 1.5, node_cap=1_000)
+        low = ClusterSimulator._lock_contention(serial, offered_ms=3 * 1_000 * 0.3, node_cap=1_000)
+        assert high > 0.9
+        assert low == 0.0
+
+    def test_no_contention_without_serial_limit(self):
+        from repro.sim.cluster import ComponentGroup, DeploymentSpec
+        from repro.sim.engine import ClusterSimulator
+
+        group = ComponentGroup("q", DeploymentSpec(initial_nodes=5))
+        assert ClusterSimulator._lock_contention(group, offered_ms=1e9, node_cap=1_000) == 0.0

@@ -1,0 +1,135 @@
+"""Unit tests for causal probability and proportional allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.paths import signature_from_edges
+from repro.core.probability import (
+    causal_probabilities,
+    component_weights,
+    proportional_allocation,
+    request_weights,
+)
+from repro.errors import ElasticityError
+from repro.lang.ir import CLIENT, EXTERNAL
+
+
+def _ecommerce_paths():
+    """The paper's Section IV-C example: Purchase and Simple paths."""
+    purchase = signature_from_edges(
+        "visit",
+        [
+            (EXTERNAL, "visit", "frontend"),
+            ("frontend", "pay", "payment"),
+            ("payment", "fulfill", "fulfillment"),
+            ("fulfillment", "reserve", "inventory"),
+            ("inventory", "lookup", "price-db"),
+            ("price-db", "done", CLIENT),
+        ],
+    )
+    simple = signature_from_edges(
+        "visit",
+        [
+            (EXTERNAL, "visit", "frontend"),
+            ("frontend", "track", "customer-tracking"),
+            ("customer-tracking", "ads", "ad-serving"),
+            ("ad-serving", "lookup", "price-db"),
+            ("price-db", "done", CLIENT),
+        ],
+    )
+    return purchase, simple
+
+
+class TestCausalProbabilities:
+    def test_normalisation(self):
+        probs = causal_probabilities({"a": 69, "b": 31})
+        assert probs == {"a": 0.69, "b": 0.31}
+
+    def test_all_zero_counts(self):
+        probs = causal_probabilities({"a": 0, "b": 0})
+        assert probs == {"a": 0.0, "b": 0.0}
+
+    def test_zero_count_path_gets_zero(self):
+        probs = causal_probabilities({"a": 10, "b": 0})
+        assert probs["b"] == 0.0
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=5), st.integers(0, 10_000), min_size=1))
+    def test_probabilities_sum_to_one_or_zero(self, counts):
+        probs = causal_probabilities(counts)
+        total = sum(probs.values())
+        if sum(counts.values()) == 0:
+            assert total == 0.0
+        else:
+            assert total == pytest.approx(1.0)
+
+
+class TestComponentWeights:
+    def test_paper_example_weights(self):
+        """Purchase 0.69 / Simple 0.31 ⇒ front-end 1.0, Price DB 1.0,
+        Payment 0.69, Ad Serving 0.31 (Section IV-C)."""
+        purchase, simple = _ecommerce_paths()
+        paths = {purchase.path_id: purchase, simple.path_id: simple}
+        probs = {purchase.path_id: 0.69, simple.path_id: 0.31}
+        weights = component_weights(probs, paths)
+        assert weights["frontend"] == pytest.approx(1.0)
+        assert weights["price-db"] == pytest.approx(1.0)
+        assert weights["payment"] == pytest.approx(0.69)
+        assert weights["fulfillment"] == pytest.approx(0.69)
+        assert weights["customer-tracking"] == pytest.approx(0.31)
+        assert weights["ad-serving"] == pytest.approx(0.31)
+
+    def test_unknown_path_id_raises(self):
+        with pytest.raises(ElasticityError):
+            component_weights({"ghost": 0.5}, {})
+
+    def test_zero_probability_paths_skipped(self):
+        purchase, _ = _ecommerce_paths()
+        weights = component_weights({purchase.path_id: 0.0}, {purchase.path_id: purchase})
+        assert weights == {}
+
+
+class TestRequestWeights:
+    def test_grouping_by_request_type(self):
+        purchase, simple = _ecommerce_paths()
+        paths = {purchase.path_id: purchase, simple.path_id: simple}
+        probs = {purchase.path_id: 0.69, simple.path_id: 0.31}
+        rw = request_weights(probs, paths)
+        assert rw == {"visit": pytest.approx(1.0)}
+
+
+class TestProportionalAllocation:
+    def test_paper_arithmetic(self):
+        """30 machines split 10 / 7+7 / 3+3 per the paper's example."""
+        weights = {
+            "frontend": 1.0,
+            "price-db": 0.69,
+            "inventory": 0.69,
+            "customer-tracking": 0.31,
+            "ad-serving": 0.31,
+        }
+        alloc = proportional_allocation(30, weights, weights.keys())
+        assert alloc["frontend"] == 10
+        assert alloc["price-db"] == 7
+        assert alloc["inventory"] == 7
+        assert alloc["customer-tracking"] == 3
+        assert alloc["ad-serving"] == 3
+
+    def test_minimum_per_component(self):
+        alloc = proportional_allocation(10, {"a": 1.0}, ["a", "b"])
+        assert alloc["b"] == 1
+
+    def test_no_weights_splits_evenly(self):
+        alloc = proportional_allocation(9, {}, ["a", "b", "c"])
+        assert alloc == {"a": 3, "b": 3, "c": 3}
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ElasticityError):
+            proportional_allocation(-1, {"a": 1.0}, ["a"])
+
+    @given(
+        st.integers(0, 200),
+        st.dictionaries(st.sampled_from(["a", "b", "c"]), st.floats(0, 10), min_size=1),
+    )
+    def test_allocation_respects_minimum(self, total, weights):
+        alloc = proportional_allocation(total, weights, ["a", "b", "c"])
+        assert all(v >= 1 for v in alloc.values())

@@ -1,0 +1,82 @@
+"""Unit tests for the linear-regression capacity model."""
+
+import pytest
+
+from repro.core.regression import LinearCapacityModel, MachineSpec
+from repro.errors import ElasticityError
+
+
+MACHINE = MachineSpec()
+
+
+def _train_linear(model, slope=0.01, intercept=2.0, n=40):
+    for i in range(n):
+        workload = 100.0 * (i + 1)
+        model.observe(
+            machine=MACHINE,
+            workload=workload,
+            throughput=workload * 0.95,
+            latency_ms=50.0,
+            machines_needed=intercept + slope * workload,
+        )
+
+
+class TestValidation:
+    def test_negative_ridge_rejected(self):
+        with pytest.raises(ElasticityError):
+            LinearCapacityModel(ridge=-1)
+
+    def test_small_history_rejected(self):
+        with pytest.raises(ElasticityError):
+            LinearCapacityModel(max_history=2)
+
+    def test_negative_label_rejected(self):
+        model = LinearCapacityModel()
+        with pytest.raises(ElasticityError):
+            model.observe(MACHINE, 1, 1, 1, machines_needed=-5)
+
+
+class TestColdStart:
+    def test_predict_before_enough_samples(self):
+        model = LinearCapacityModel()
+        with pytest.raises(ElasticityError, match="needs >= 8"):
+            model.predict(MACHINE, 100, 95, 50)
+
+    def test_ready_flag(self):
+        model = LinearCapacityModel()
+        assert not model.ready()
+        _train_linear(model, n=8)
+        assert model.ready()
+
+
+class TestLearning:
+    def test_recovers_linear_relationship(self):
+        model = LinearCapacityModel()
+        _train_linear(model, slope=0.01, intercept=2.0)
+        predicted = model.predict(MACHINE, workload=2_500.0, throughput=2_375.0, latency_ms=50.0)
+        assert predicted == pytest.approx(2.0 + 0.01 * 2_500.0, rel=0.05)
+
+    def test_extrapolates_beyond_training_range(self):
+        model = LinearCapacityModel()
+        _train_linear(model, slope=0.02, intercept=0.0)
+        predicted = model.predict(MACHINE, workload=10_000.0, throughput=9_500.0, latency_ms=50.0)
+        assert predicted == pytest.approx(200.0, rel=0.1)
+
+    def test_prediction_clamped_non_negative(self):
+        model = LinearCapacityModel()
+        for _ in range(10):
+            model.observe(MACHINE, workload=100, throughput=95, latency_ms=50, machines_needed=0.0)
+        assert model.predict(MACHINE, 0.0, 0.0, 0.0) >= 0.0
+
+    def test_history_bound(self):
+        model = LinearCapacityModel(max_history=16)
+        _train_linear(model, n=50)
+        assert model.sample_count == 16
+
+    def test_old_samples_age_out(self):
+        """After the regime changes, predictions should follow the new data."""
+        model = LinearCapacityModel(max_history=32)
+        _train_linear(model, slope=0.01, n=32)
+        _train_linear(model, slope=0.05, n=32)  # new regime fills the window
+        predicted = model.predict(MACHINE, workload=2_000.0, throughput=1_900.0, latency_ms=50.0)
+        assert predicted == pytest.approx(2.0 + 0.05 * 2_000.0, rel=0.1)

@@ -1,0 +1,65 @@
+"""Unit tests for the paper-vocabulary slicing API."""
+
+import pytest
+
+from repro.core.slicing import all_send_slices, backward_slice_from_send, forward_slice_from_recv
+from repro.errors import AnalysisError
+from repro.lang.builder import ComponentBuilder, field, var
+from repro.lang.dependence import HandlerPDG
+from repro.lang.ir import CLIENT
+
+
+def _pdg(comp_builder, msg_type):
+    comp = comp_builder.build()
+    return HandlerPDG(comp, comp.handler_for(msg_type))
+
+
+class TestSendSlices:
+    def test_s_out_names_influencing_state_vars(self):
+        cb = ComponentBuilder("A").state("z", 0).state("noise", 0)
+        with cb.on("go", "m") as h:
+            h.assign("noise", var("noise") + 1)
+            h.send("out", "B", {"v": var("z") * 2})
+        cb.state("dummy", 0)  # never used
+        # route send to CLIENT to keep the component self-contained
+        pdg = _pdg(cb, "go")
+        (sl,) = all_send_slices(pdg)
+        assert sl.s_out == frozenset({"z"})
+        assert sl.component == "A"
+        assert sl.dest == "B"
+
+    def test_multiple_sends_sliced_independently(self):
+        cb = ComponentBuilder("A").state("a", 0).state("b", 0)
+        with cb.on("go", "m") as h:
+            h.send("one", CLIENT, {"v": var("a")})
+            h.send("two", CLIENT, {"v": var("b")})
+        slices = all_send_slices(_pdg(cb, "go"))
+        assert [s.s_out for s in slices] == [frozenset({"a"}), frozenset({"b"})]
+
+    def test_non_send_node_rejected(self):
+        cb = ComponentBuilder("A").state("z", 0)
+        with cb.on("go", "m") as h:
+            h.assign("z", 1)
+        pdg = _pdg(cb, "go")
+        node = pdg.cfg.statement_nodes()[0]
+        with pytest.raises(AnalysisError):
+            backward_slice_from_send(pdg, node)
+
+
+class TestRecvSlices:
+    def test_v_in_restricted_to_state_vars(self):
+        cb = ComponentBuilder("A").state("z", 0)
+        with cb.on("go", "m") as h:
+            h.assign("local_tmp", field("m", "x"))
+            h.assign("z", var("local_tmp"))
+        recv = forward_slice_from_recv(_pdg(cb, "go"))
+        assert recv.v_in == frozenset({"z"})  # locals excluded
+
+    def test_message_influenced_subset(self):
+        cb = ComponentBuilder("A").state("z", 0).state("counter", 0)
+        with cb.on("go", "m") as h:
+            h.assign("z", field("m", "x"))
+            h.assign("counter", var("counter") + 1)
+        recv = forward_slice_from_recv(_pdg(cb, "go"))
+        assert recv.v_in == frozenset({"z", "counter"})
+        assert recv.message_influenced == frozenset({"z"})

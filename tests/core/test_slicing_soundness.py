@@ -1,0 +1,123 @@
+"""Differential soundness tests for DCA's static analysis.
+
+The load-bearing property of the whole paper: variables *outside*
+``V_out`` provably cannot influence any emission.  We test it
+differentially on randomly generated components: perturb the initial
+value of a variable the analysis excluded, re-run every handler, and
+assert every emitted message is byte-identical.  Conversely, perturbing
+a variable *inside* ``S_out`` of some send must be able to change an
+emission for at least some generated program (a smoke check that the
+analysis is not vacuously conservative).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dca import analyze_component
+from repro.lang.builder import ComponentBuilder, field, var
+from repro.lang.interpreter import Interpreter, ReplicaState
+from repro.lang.ir import CLIENT, EXTERNAL, default_library
+from repro.lang.message import Message, UidFactory
+
+STATE_VARS = ("a", "b", "c", "d")
+FIELDS = ("x", "y")
+
+
+@st.composite
+def random_component(draw):
+    """A random component: 2 handlers, assignments/branches/sends."""
+    cb = ComponentBuilder("R")
+    for name in STATE_VARS:
+        cb.state(name, draw(st.integers(0, 5)))
+
+    def rand_expr(depth=0):
+        choice = draw(st.integers(0, 5 if depth < 2 else 2))
+        if choice == 0:
+            return var(draw(st.sampled_from(STATE_VARS)))
+        if choice == 1:
+            return field("m", draw(st.sampled_from(FIELDS)))
+        if choice == 2:
+            return draw(st.integers(0, 9))
+        left, right = rand_expr(depth + 1), rand_expr(depth + 1)
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        from repro.lang.ir import BinOp, as_expr
+
+        return BinOp(op, as_expr(left), as_expr(right))
+
+    def rand_block(h, depth, allow_send):
+        n = draw(st.integers(1, 3))
+        for _ in range(n):
+            kind = draw(st.integers(0, 3 if allow_send else 2))
+            if kind in (0, 1):
+                h.assign(draw(st.sampled_from(STATE_VARS)), rand_expr())
+            elif kind == 2 and depth < 2:
+                branch = h.if_(rand_expr() > draw(st.integers(0, 6)))
+                rand_block(branch.then, depth + 1, allow_send)
+                rand_block(branch.orelse, depth + 1, allow_send)
+                branch.done()
+            elif kind == 3:
+                h.send(
+                    "out",
+                    CLIENT,
+                    {"v": rand_expr(), "w": rand_expr()},
+                )
+
+    with cb.on("h1", "m") as h:
+        rand_block(h, 0, allow_send=draw(st.booleans()))
+    with cb.on("h2", "m") as h:
+        rand_block(h, 0, allow_send=True)
+    return cb.build()
+
+
+def _run_all_handlers(component, initial_overrides):
+    """Run h1 then h2 from a fresh state; return all emitted payloads."""
+    interp = Interpreter(component, default_library())
+    state = ReplicaState.from_component(component)
+    state.values.update(initial_overrides)
+    uids = UidFactory("10.0.0.1", 1)
+    ext = UidFactory("client", 0)
+    emitted = []
+    for msg_type in ("h1", "h2"):
+        msg = Message(ext.next_uid(), msg_type, EXTERNAL, "R", {"x": 3, "y": 4})
+        outcome = interp.handle(state, msg, uids)
+        emitted.extend(tuple(sorted(m.fields.items())) for m in outcome.emitted)
+    return emitted
+
+
+class TestNonVOutCannotInfluenceEmissions:
+    @given(random_component(), st.integers(100, 10_000))
+    @settings(max_examples=120, deadline=None)
+    def test_perturbing_excluded_variable_never_changes_output(self, component, perturbation):
+        analysis = analyze_component(component)
+        excluded = set(STATE_VARS) - set(analysis.v_out)
+        baseline = _run_all_handlers(component, {})
+        for victim in sorted(excluded):
+            perturbed = _run_all_handlers(component, {victim: perturbation})
+            assert perturbed == baseline, (
+                f"variable {victim!r} is outside V_out={sorted(analysis.v_out)} "
+                "but changing it changed an emission"
+            )
+
+
+class TestAnalysisIsNotVacuous:
+    def test_s_out_variable_can_change_output(self):
+        """Sanity: a variable the analysis keeps really does matter."""
+        cb = ComponentBuilder("R").state("a", 1)
+        with cb.on("h1", "m") as h:
+            h.send("out", CLIENT, {"v": var("a") * 2})
+        with cb.on("h2", "m") as h:
+            h.skip()
+        component = cb.build()
+        analysis = analyze_component(component)
+        assert "a" in analysis.v_out
+        assert _run_all_handlers(component, {}) != _run_all_handlers(component, {"a": 99})
+
+    @given(random_component())
+    @settings(max_examples=60, deadline=None)
+    def test_v_tr_subset_of_v_out_and_v_in(self, component):
+        analysis = analyze_component(component)
+        all_in = set()
+        for v_in in analysis.v_in.values():
+            all_in |= v_in
+        assert analysis.v_tr <= analysis.v_out
+        assert analysis.v_tr <= all_in

@@ -1,0 +1,82 @@
+"""Tests for the experiment runner (manager construction + short runs)."""
+
+import pytest
+
+from repro.apps.catalog import load_scenario
+from repro.errors import EvaluationError
+from repro.evalx.experiment import (
+    DCA_RATES,
+    MANAGER_NAMES,
+    ExperimentConfig,
+    build_simulator,
+    run_all_managers,
+    run_manager,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return load_scenario("hedwig")
+
+
+class TestConstruction:
+    def test_all_seven_managers_build(self, scenario):
+        for name in MANAGER_NAMES:
+            sim = build_simulator(scenario, name, ExperimentConfig(duration_minutes=5))
+            assert sim.manager.name == name
+
+    def test_unknown_manager_rejected(self, scenario):
+        with pytest.raises(EvaluationError):
+            build_simulator(scenario, "Kubernetes")
+
+    def test_dca_rates_table(self):
+        assert DCA_RATES["DCA-10%"] == 0.10
+        assert DCA_RATES["DCA-100%"] == 1.0
+
+    def test_dca_simulator_has_bundle(self, scenario):
+        sim = build_simulator(scenario, "DCA-10%", ExperimentConfig(duration_minutes=5))
+        assert sim.dca is not None
+        assert sim.dca.sampling_rate == 0.10
+
+    def test_htrace_simulator_has_collector(self, scenario):
+        sim = build_simulator(scenario, "HTrace+CW", ExperimentConfig(duration_minutes=5))
+        assert sim.htrace is not None
+
+    def test_baselines_have_no_dca(self, scenario):
+        sim = build_simulator(scenario, "CloudWatch", ExperimentConfig(duration_minutes=5))
+        assert sim.dca is None
+
+    def test_config_validation(self):
+        with pytest.raises(EvaluationError):
+            ExperimentConfig(duration_minutes=0)
+
+
+class TestShortRuns:
+    def test_run_manager_produces_result(self, scenario):
+        result = run_manager(scenario, "ElasticRMI", ExperimentConfig(duration_minutes=20))
+        assert len(result.records) == 20
+        assert result.manager_name == "ElasticRMI"
+        assert result.agility() >= 0
+
+    def test_run_all_selected_managers(self, scenario):
+        results = run_all_managers(
+            scenario,
+            managers=("CloudWatch", "DCA-10%"),
+            config=ExperimentConfig(duration_minutes=15),
+        )
+        assert set(results) == {"CloudWatch", "DCA-10%"}
+
+    def test_same_seed_same_result(self, scenario):
+        cfg = ExperimentConfig(duration_minutes=15, seed=3)
+        r1 = run_manager(scenario, "ElasticRMI", cfg)
+        cfg2 = ExperimentConfig(duration_minutes=15, seed=3)
+        r2 = run_manager(scenario, "ElasticRMI", cfg2)
+        assert r1.agility() == r2.agility()
+        assert r1.sla_violation_percent() == r2.sla_violation_percent()
+
+    def test_dca_run_counts_paths(self, scenario):
+        sim = build_simulator(scenario, "DCA-100%", ExperimentConfig(duration_minutes=10))
+        result = sim.run()
+        assert sim.dca.tracker.completed_paths > 0
+        counts = sim.dca.profiler.counts(9.0)
+        assert sum(counts.values()) > 0

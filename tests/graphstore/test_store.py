@@ -1,0 +1,137 @@
+"""Unit tests for the partitioned causal-graph store."""
+
+import pytest
+
+from repro.errors import GraphStoreError
+from repro.graphstore.partition import HashPartitioner
+from repro.graphstore.store import GraphStore
+from repro.lang.ir import CLIENT, EXTERNAL
+from repro.lang.message import Message, MessageUid
+
+
+def _uid(seq, proc=1, host="h"):
+    return MessageUid(host, proc, seq)
+
+
+def _msg(seq, msg_type="m", src="A", dest="B", causes=(), root=None):
+    return Message(
+        uid=_uid(seq),
+        msg_type=msg_type,
+        src=src,
+        dest=dest,
+        cause_uids=frozenset(causes),
+        root_uid=root,
+    )
+
+
+class TestPartitioner:
+    def test_deterministic(self):
+        p = HashPartitioner(8)
+        uid = _uid(42)
+        assert p.partition_of(uid) == p.partition_of(MessageUid("h", 1, 42))
+
+    def test_in_range(self):
+        p = HashPartitioner(5)
+        for seq in range(100):
+            assert 0 <= p.partition_of(_uid(seq)) < 5
+
+    def test_spread(self):
+        p = HashPartitioner(4)
+        parts = {p.partition_of(_uid(seq)) for seq in range(200)}
+        assert parts == {0, 1, 2, 3}
+
+    def test_invalid_count(self):
+        with pytest.raises(GraphStoreError):
+            HashPartitioner(0)
+
+
+class TestGraphStore:
+    def test_add_and_get(self):
+        store = GraphStore()
+        msg = _msg(1)
+        node = store.add_message(msg)
+        assert store.get_node(msg.uid) == node
+        assert store.node_count() == 1
+
+    def test_get_unknown_returns_none(self):
+        store = GraphStore()
+        assert store.get_node(_uid(99)) is None
+
+    def test_require_unknown_raises(self):
+        store = GraphStore()
+        with pytest.raises(GraphStoreError):
+            store.require_node(_uid(99))
+
+    def test_edges_from_causes(self):
+        store = GraphStore()
+        root = _msg(1, src=EXTERNAL, dest="A")
+        child = _msg(2, src="A", dest="B", causes=[root.uid], root=root.uid)
+        store.add_message(root)
+        store.add_message(child)
+        assert store.successors(root.uid) == {child.uid}
+        assert store.predecessors(child.uid) == {root.uid}
+        assert store.edge_count == 1
+
+    def test_self_edge_rejected(self):
+        store = GraphStore()
+        with pytest.raises(GraphStoreError):
+            store.add_edge(_uid(1), _uid(1))
+
+    def test_root_tracking(self):
+        store = GraphStore()
+        root = _msg(1, src=EXTERNAL, dest="A")
+        child = _msg(2, causes=[root.uid], root=root.uid)
+        store.add_message(root)
+        store.add_message(child)
+        assert store.root_of(child.uid) == root.uid
+        assert store.root_of(root.uid) == root.uid
+
+    def test_completion_callback_on_response(self):
+        seen = []
+        store = GraphStore(on_path_complete=seen.append)
+        root = _msg(1, src=EXTERNAL, dest="A")
+        response = _msg(2, src="A", dest=CLIENT, causes=[root.uid], root=root.uid)
+        store.add_message(root)
+        assert seen == []
+        store.add_message(response)
+        assert seen == [root.uid]
+
+    def test_evict_graph(self):
+        store = GraphStore()
+        root = _msg(1, src=EXTERNAL, dest="A")
+        mid = _msg(2, src="A", dest="B", causes=[root.uid], root=root.uid)
+        leaf = _msg(3, src="B", dest=CLIENT, causes=[mid.uid], root=root.uid)
+        for m in (root, mid, leaf):
+            store.add_message(m)
+        removed = store.evict_graph(root.uid)
+        assert removed == 3
+        assert store.node_count() == 0
+        assert store.successors(root.uid) == set()
+
+    def test_evict_leaves_other_graphs(self):
+        store = GraphStore()
+        a = _msg(1, src=EXTERNAL, dest="A")
+        b = _msg(10, src=EXTERNAL, dest="A")
+        store.add_message(a)
+        store.add_message(b)
+        store.evict_graph(a.uid)
+        assert store.get_node(b.uid) is not None
+
+    def test_cross_partition_edge_counter(self):
+        store = GraphStore(num_partitions=2)
+        msgs = [_msg(i) for i in range(1, 30)]
+        prev = None
+        for m in msgs:
+            if prev is not None:
+                m = m.with_causes(frozenset({prev.uid}))
+            store.add_message(m)
+            prev = m
+        assert 0 < store.cross_partition_edges <= store.edge_count
+
+    def test_index_lookup_counter(self):
+        store = GraphStore()
+        msg = _msg(1)
+        store.add_message(msg)
+        before = store.index_lookups
+        store.get_node(msg.uid)
+        assert store.index_lookups == before + 1

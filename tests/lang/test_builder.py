@@ -1,0 +1,118 @@
+"""Unit tests for the fluent builder API."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.lang.builder import AppBuilder, BlockBuilder, ComponentBuilder, call, const, field, var
+from repro.lang.ir import CLIENT, Assign, Call, Const, Field, If, Send, Var, While
+
+
+class TestShorthands:
+    def test_var(self):
+        assert var("x") == Var("x")
+
+    def test_field(self):
+        assert field("m", "f") == Field("m", "f")
+
+    def test_const(self):
+        assert const(3) == Const(3)
+
+    def test_call(self):
+        c = call("sqrt", var("x"))
+        assert isinstance(c, Call)
+        assert c.func == "sqrt"
+
+
+class TestBlockBuilder:
+    def test_assign_and_send(self):
+        b = BlockBuilder()
+        b.assign("x", 1).send("out", "B", {"v": var("x")})
+        stmts = b.statements()
+        assert isinstance(stmts[0], Assign)
+        assert isinstance(stmts[1], Send)
+
+    def test_if_context_manager_commits(self):
+        b = BlockBuilder()
+        with b.if_(var("c") > 0) as branch:
+            branch.then.assign("x", 1)
+            branch.orelse.assign("x", 2)
+        (stmt,) = b.statements()
+        assert isinstance(stmt, If)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_branch_double_commit_rejected(self):
+        b = BlockBuilder()
+        branch = b.if_(var("c") > 0)
+        branch.done()
+        with pytest.raises(IRError):
+            branch.done()
+
+    def test_while_context_manager(self):
+        b = BlockBuilder()
+        with b.while_(var("i") < 3) as loop:
+            loop.body.assign("i", var("i") + 1)
+        (stmt,) = b.statements()
+        assert isinstance(stmt, While)
+        assert len(stmt.body) == 1
+
+    def test_nested_structures(self):
+        b = BlockBuilder()
+        with b.if_(var("c") > 0) as branch:
+            with branch.then.while_(var("i") < 2) as loop:
+                loop.body.send("tick", "B")
+        (outer,) = b.statements()
+        (inner,) = outer.then_body
+        assert isinstance(inner, While)
+        assert isinstance(inner.body[0], Send)
+
+    def test_skip(self):
+        b = BlockBuilder()
+        b.skip()
+        assert len(b.statements()) == 1
+
+
+class TestComponentBuilder:
+    def test_state_and_handler(self):
+        cb = ComponentBuilder("A", service_cost=7.0).state("x", 5)
+        with cb.on("go", "m") as h:
+            h.assign("x", field("m", "v"))
+        comp = cb.build()
+        assert comp.state == {"x": 5}
+        assert comp.service_cost == 7.0
+        assert "go" in comp.handlers
+
+    def test_duplicate_state_rejected(self):
+        cb = ComponentBuilder("A").state("x", 0)
+        with pytest.raises(IRError):
+            cb.state("x", 1)
+
+    def test_prebuilt_handler_body(self):
+        cb = ComponentBuilder("A").handler("go", "m", [Assign("x", 1)])
+        comp = cb.build()
+        assert comp.handler_for("go").body[0].target == "x"
+
+    def test_default_param_name(self):
+        cb = ComponentBuilder("A")
+        with cb.on("go") as h:
+            h.send("out", CLIENT)
+        comp = cb.build()
+        assert comp.handler_for("go").param == "m"
+
+
+class TestAppBuilder:
+    def test_build_valid_app(self, pipeline_app):
+        assert set(pipeline_app.components) == {"A", "B", "C"}
+        assert pipeline_app.entry_points == {"start": "A"}
+
+    def test_duplicate_entry_rejected(self):
+        ab = AppBuilder("t").entry("go", "A")
+        with pytest.raises(IRError):
+            ab.entry("go", "B")
+
+    def test_builder_accepts_component_builders(self):
+        cb = ComponentBuilder("A")
+        with cb.on("go", "m") as h:
+            h.send("done", CLIENT)
+        app = AppBuilder("t").component(cb).entry("go", "A").build()
+        assert "A" in app.components

@@ -1,0 +1,136 @@
+"""Unit tests for CFG construction, post-dominators, control dependence."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.lang.cfg import CFG, ENTRY, EXIT, build_cfg, control_dependences, postdominators
+from repro.lang.ir import Assign, Handler, If, Send, Skip, Var, While
+
+
+def _cfg(body):
+    return build_cfg(Handler("go", "m", body))
+
+
+class TestBuildCfg:
+    def test_straight_line(self):
+        s1, s2 = Assign("x", 1), Assign("y", 2)
+        cfg = _cfg([s1, s2])
+        assert cfg.succ[ENTRY] == {s1.sid}
+        assert cfg.succ[s1.sid] == {s2.sid}
+        assert cfg.succ[s2.sid] == {EXIT}
+
+    def test_empty_body_wires_entry_to_exit(self):
+        cfg = _cfg([])
+        assert cfg.succ[ENTRY] == {EXIT}
+
+    def test_if_diamond(self):
+        t, e = Assign("x", 1), Assign("x", 2)
+        cond = If(Var("c") > 0, [t], [e])
+        tail = Assign("y", 3)
+        cfg = _cfg([cond, tail])
+        assert cfg.succ[cond.sid] == {t.sid, e.sid}
+        assert cfg.succ[t.sid] == {tail.sid}
+        assert cfg.succ[e.sid] == {tail.sid}
+
+    def test_if_without_else_falls_through(self):
+        t = Assign("x", 1)
+        cond = If(Var("c") > 0, [t])
+        tail = Assign("y", 3)
+        cfg = _cfg([cond, tail])
+        assert cfg.succ[cond.sid] == {t.sid, tail.sid}
+
+    def test_while_back_edge(self):
+        body = Assign("i", Var("i") + 1)
+        loop = While(Var("i") < 3, [body])
+        cfg = _cfg([loop])
+        assert body.sid in cfg.succ[loop.sid]
+        assert loop.sid in cfg.succ[body.sid]
+        assert EXIT in cfg.succ[loop.sid]
+
+    def test_statement_reuse_rejected(self):
+        shared = Assign("x", 1)
+        with pytest.raises(AnalysisError):
+            _cfg([shared, shared])
+
+    def test_reverse_postorder_starts_at_entry(self):
+        s1, s2 = Assign("x", 1), Assign("y", 2)
+        cfg = _cfg([s1, s2])
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] == ENTRY
+        assert rpo.index(s1.sid) < rpo.index(s2.sid)
+
+
+class TestPostdominators:
+    def test_exit_postdominates_everything(self):
+        s1 = Assign("x", 1)
+        cfg = _cfg([s1])
+        pd = postdominators(cfg)
+        for node in cfg.nodes:
+            assert EXIT in pd[node]
+
+    def test_join_postdominates_branches(self):
+        t, e = Assign("x", 1), Assign("x", 2)
+        cond = If(Var("c") > 0, [t], [e])
+        join = Assign("y", 3)
+        cfg = _cfg([cond, join])
+        pd = postdominators(cfg)
+        assert join.sid in pd[t.sid]
+        assert join.sid in pd[e.sid]
+        assert join.sid in pd[cond.sid]
+
+    def test_branch_does_not_postdominate_condition(self):
+        t, e = Assign("x", 1), Assign("x", 2)
+        cond = If(Var("c") > 0, [t], [e])
+        cfg = _cfg([cond])
+        pd = postdominators(cfg)
+        assert t.sid not in pd[cond.sid]
+
+
+class TestControlDependence:
+    def test_branch_stmts_depend_on_condition(self):
+        t, e = Assign("x", 1), Assign("x", 2)
+        cond = If(Var("c") > 0, [t], [e])
+        cfg = _cfg([cond, Assign("y", 3)])
+        cd = control_dependences(cfg)
+        assert cond.sid in cd[t.sid]
+        assert cond.sid in cd[e.sid]
+
+    def test_join_not_dependent_on_condition(self):
+        t, e = Assign("x", 1), Assign("x", 2)
+        cond = If(Var("c") > 0, [t], [e])
+        join = Assign("y", 3)
+        cfg = _cfg([cond, join])
+        cd = control_dependences(cfg)
+        assert cond.sid not in cd[join.sid]
+
+    def test_loop_body_depends_on_header(self):
+        body = Assign("i", Var("i") + 1)
+        loop = While(Var("i") < 3, [body])
+        cfg = _cfg([loop])
+        cd = control_dependences(cfg)
+        assert loop.sid in cd[body.sid]
+
+    def test_loop_header_self_dependence(self):
+        body = Assign("i", Var("i") + 1)
+        loop = While(Var("i") < 3, [body])
+        cfg = _cfg([loop])
+        cd = control_dependences(cfg)
+        assert loop.sid in cd[loop.sid]
+
+    def test_nested_if_dependence_chain(self):
+        inner_stmt = Send("out", "B")
+        inner = If(Var("d") > 0, [inner_stmt])
+        outer = If(Var("c") > 0, [inner])
+        cfg = _cfg([outer])
+        cd = control_dependences(cfg)
+        assert inner.sid in cd[inner_stmt.sid]
+        assert outer.sid in cd[inner.sid]
+        # Transitive closure is the slicer's job, not the CFG's.
+        assert outer.sid not in cd[inner_stmt.sid]
+
+    def test_straight_line_has_no_control_deps(self):
+        s1, s2 = Assign("x", 1), Assign("y", 2)
+        cfg = _cfg([s1, s2])
+        cd = control_dependences(cfg)
+        assert cd[s1.sid] == set()
+        assert cd[s2.sid] == set()

@@ -1,0 +1,220 @@
+"""Unit tests for the provenance-tracking interpreter."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.lang.builder import ComponentBuilder, call, field, var
+from repro.lang.interpreter import Interpreter, ReplicaState
+from repro.lang.ir import CLIENT, EXTERNAL, default_library
+from repro.lang.message import Message, UidFactory
+
+
+def _make(component, tracked=None, track_all=False):
+    interp = Interpreter(component, default_library(), tracked_vars=tracked, track_all=track_all)
+    return interp, ReplicaState.from_component(component)
+
+
+def _msg(msg_type, fields, seq=1, sampled=True):
+    return Message(
+        uid=UidFactory("client", 0).next_uid() if seq == 1 else None,
+        msg_type=msg_type,
+        src=EXTERNAL,
+        dest="X",
+        fields=fields,
+        sampled=sampled,
+    )
+
+
+def _uids():
+    return UidFactory("10.0.0.1", 1)
+
+
+class TestEvaluation:
+    def _run(self, build_handler, fields, state_vars=None, tracked=None):
+        comp = ComponentBuilder("X")
+        for name, value in (state_vars or {}).items():
+            comp.state(name, value)
+        build_handler(comp)
+        component = comp.build()
+        interp, state = _make(component, tracked=tracked)
+        outcome = interp.handle(state, _msg("go", fields), _uids())
+        return outcome, state
+
+    def test_arithmetic(self):
+        def h(comp):
+            with comp.on("go", "m") as b:
+                b.assign("z", field("m", "x") * 2 + 1)
+
+        outcome, state = self._run(h, {"x": 10}, {"z": 0})
+        assert state.values["z"] == 21
+
+    def test_division_by_zero(self):
+        def h(comp):
+            with comp.on("go", "m") as b:
+                b.assign("z", field("m", "x") / 0)
+
+        with pytest.raises(InterpreterError, match="division by zero"):
+            self._run(h, {"x": 1}, {"z": 0})
+
+    def test_undefined_variable(self):
+        def h(comp):
+            with comp.on("go", "m") as b:
+                b.assign("z", var("ghost"))
+
+        with pytest.raises(InterpreterError, match="undefined variable"):
+            self._run(h, {"x": 1}, {"z": 0})
+
+    def test_missing_field(self):
+        def h(comp):
+            with comp.on("go", "m") as b:
+                b.assign("z", field("m", "nope"))
+
+        with pytest.raises(InterpreterError, match="no field"):
+            self._run(h, {"x": 1}, {"z": 0})
+
+    def test_string_concat_with_plus(self):
+        def h(comp):
+            with comp.on("go", "m") as b:
+                b.assign("z", field("m", "s") + "!")
+
+        _, state = self._run(h, {"s": "hi"}, {"z": ""})
+        assert state.values["z"] == "hi!"
+
+    def test_library_call(self):
+        def h(comp):
+            with comp.on("go", "m") as b:
+                b.assign("z", call("sqrt", field("m", "x")))
+
+        _, state = self._run(h, {"x": 81}, {"z": 0})
+        assert state.values["z"] == 9.0
+
+    def test_branching(self):
+        def h(comp):
+            with comp.on("go", "m") as b:
+                with b.if_(field("m", "x") > 5) as br:
+                    br.then.assign("z", 1)
+                    br.orelse.assign("z", 2)
+
+        _, state = self._run(h, {"x": 10}, {"z": 0})
+        assert state.values["z"] == 1
+        _, state = self._run(h, {"x": 3}, {"z": 0})
+        assert state.values["z"] == 2
+
+    def test_loop_executes(self):
+        def h(comp):
+            with comp.on("go", "m") as b:
+                b.assign("i", 0)
+                with b.while_(var("i") < field("m", "n")) as loop:
+                    loop.body.assign("z", var("z") + 1)
+                    loop.body.assign("i", var("i") + 1)
+
+        _, state = self._run(h, {"n": 4}, {"z": 0})
+        assert state.values["z"] == 4
+
+    def test_loop_bound_enforced(self):
+        def h(comp):
+            with comp.on("go", "m") as b:
+                with b.while_(1 < field("m", "x")) as loop:
+                    loop.body.assign("z", var("z") + 1)
+
+        comp = ComponentBuilder("X").state("z", 0)
+        h(comp)
+        component = comp.build()
+        interp = Interpreter(component, default_library(), max_loop_iterations=10)
+        state = ReplicaState.from_component(component)
+        with pytest.raises(InterpreterError, match="exceeded"):
+            interp.handle(state, _msg("go", {"x": 5}), _uids())
+
+    def test_short_circuit_and(self):
+        def h(comp):
+            with comp.on("go", "m") as b:
+                b.assign("z", (field("m", "x") > 0).and_(field("m", "x") / field("m", "x") > 0))
+
+        _, state = self._run(h, {"x": 0}, {"z": 0})
+        assert state.values["z"] is False  # second operand never evaluated
+
+
+class TestProvenance:
+    def _component(self):
+        comp = ComponentBuilder("X").state("z", 0).state("untracked", 0)
+        with comp.on("write", "m") as b:
+            b.assign("z", field("m", "x"))
+            b.assign("untracked", field("m", "x") + 1)
+        with comp.on("emit", "m") as b:
+            with b.if_(field("m", "go") > 0) as br:
+                br.then.send("out", CLIENT, {"v": var("z")})
+        return comp.build()
+
+    def test_data_and_control_taint(self):
+        component = self._component()
+        interp, state = _make(component, tracked={"z"})
+        uids = _uids()
+        ext = UidFactory("client", 0)
+        m1 = Message(ext.next_uid(), "write", EXTERNAL, "X", {"x": 7})
+        m2 = Message(ext.next_uid(), "emit", EXTERNAL, "X", {"go": 1})
+        interp.handle(state, m1, uids)
+        outcome = interp.handle(state, m2, uids)
+        (emitted,) = outcome.emitted
+        assert emitted.cause_uids == frozenset({m1.uid, m2.uid})
+
+    def test_untracked_variable_has_no_persisted_provenance(self):
+        component = self._component()
+        interp, state = _make(component, tracked={"z"})
+        m1 = Message(UidFactory("c", 0).next_uid(), "write", EXTERNAL, "X", {"x": 7})
+        interp.handle(state, m1, _uids())
+        assert "z" in state.provenance
+        assert "untracked" not in state.provenance
+
+    def test_track_all_persists_everything(self):
+        component = self._component()
+        interp, state = _make(component, track_all=True)
+        m1 = Message(UidFactory("c", 0).next_uid(), "write", EXTERNAL, "X", {"x": 7})
+        interp.handle(state, m1, _uids())
+        assert "untracked" in state.provenance
+
+    def test_unsampled_message_skips_tracking(self):
+        component = self._component()
+        interp, state = _make(component, tracked={"z"})
+        m1 = Message(
+            UidFactory("c", 0).next_uid(), "write", EXTERNAL, "X", {"x": 7}, sampled=False
+        )
+        outcome = interp.handle(state, m1, _uids())
+        assert outcome.tracked_writes == 0
+        assert state.provenance == {}
+
+    def test_emitted_message_without_provenance_has_no_causes(self):
+        component = self._component()
+        interp, state = _make(component)  # provenance disabled
+        m2 = Message(UidFactory("c", 0).next_uid(), "emit", EXTERNAL, "X", {"go": 1})
+        outcome = interp.handle(state, m2, _uids())
+        (emitted,) = outcome.emitted
+        assert emitted.cause_uids == frozenset()
+
+    def test_instrumentation_op_counting(self):
+        component = self._component()
+        interp, state = _make(component, tracked={"z"})
+        uids = _uids()
+        m1 = Message(UidFactory("c", 0).next_uid(), "write", EXTERNAL, "X", {"x": 7})
+        o1 = interp.handle(state, m1, uids)
+        assert o1.tracked_writes == 1  # z only; `untracked` skipped
+        assert o1.total_writes == 2
+        assert o1.getinfo_ops == 0
+        m2 = Message(UidFactory("c", 9).next_uid(), "emit", EXTERNAL, "X", {"go": 1})
+        o2 = interp.handle(state, m2, uids)
+        assert o2.getinfo_ops == 1
+        assert o2.instrumentation_ops == o2.tracked_writes + o2.getinfo_ops
+
+    def test_root_uid_propagates(self):
+        component = self._component()
+        interp, state = _make(component, tracked={"z"})
+        root = UidFactory("c", 0).next_uid()
+        m2 = Message(root, "emit", EXTERNAL, "X", {"go": 1})
+        outcome = interp.handle(state, m2, _uids())
+        assert outcome.emitted[0].root_uid == root
+
+    def test_statements_executed_counted(self):
+        component = self._component()
+        interp, state = _make(component)
+        m1 = Message(UidFactory("c", 0).next_uid(), "write", EXTERNAL, "X", {"x": 7})
+        outcome = interp.handle(state, m1, _uids())
+        assert outcome.statements_executed == 2

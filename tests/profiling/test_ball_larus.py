@@ -1,0 +1,92 @@
+"""Unit tests for Ball–Larus path numbering."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.lang.cfg import ENTRY, EXIT, build_cfg
+from repro.lang.ir import Assign, Handler, If, Var, While
+from repro.profiling.ball_larus import ball_larus_numbering
+
+
+def _cfg(body):
+    return build_cfg(Handler("go", "m", body))
+
+
+class TestNumbering:
+    def test_straight_line_single_path(self):
+        cfg = _cfg([Assign("x", 1), Assign("y", 2)])
+        numbering = ball_larus_numbering(cfg)
+        assert numbering.num_paths == 1
+
+    def test_if_else_two_paths(self):
+        cfg = _cfg([If(Var("c") > 0, [Assign("x", 1)], [Assign("x", 2)])])
+        assert ball_larus_numbering(cfg).num_paths == 2
+
+    def test_if_without_else_two_paths(self):
+        cfg = _cfg([If(Var("c") > 0, [Assign("x", 1)])])
+        assert ball_larus_numbering(cfg).num_paths == 2
+
+    def test_sequential_ifs_multiply(self):
+        cfg = _cfg(
+            [
+                If(Var("a") > 0, [Assign("x", 1)], [Assign("x", 2)]),
+                If(Var("b") > 0, [Assign("y", 1)], [Assign("y", 2)]),
+            ]
+        )
+        assert ball_larus_numbering(cfg).num_paths == 4
+
+    def test_nested_if_three_paths(self):
+        cfg = _cfg(
+            [
+                If(
+                    Var("a") > 0,
+                    [If(Var("b") > 0, [Assign("x", 1)], [Assign("x", 2)])],
+                    [Assign("x", 3)],
+                )
+            ]
+        )
+        assert ball_larus_numbering(cfg).num_paths == 3
+
+    def test_loop_back_edge_removed(self):
+        body = Assign("i", Var("i") + 1)
+        cfg = _cfg([While(Var("i") < 3, [body])])
+        numbering = ball_larus_numbering(cfg)
+        assert (body.sid, [s for s in cfg.succ[body.sid]][0]) in numbering.back_edges or numbering.back_edges
+        # Acyclic segments: enter-loop-once-exit and skip-loop.
+        assert numbering.num_paths >= 1
+
+
+class TestPathIds:
+    def test_ids_unique_per_path(self):
+        t1, e1 = Assign("x", 1), Assign("x", 2)
+        t2, e2 = Assign("y", 1), Assign("y", 2)
+        s1 = If(Var("a") > 0, [t1], [e1])
+        s2 = If(Var("b") > 0, [t2], [e2])
+        cfg = _cfg([s1, s2])
+        numbering = ball_larus_numbering(cfg)
+        paths = [
+            [ENTRY, s1.sid, t1.sid, s2.sid, t2.sid, EXIT],
+            [ENTRY, s1.sid, t1.sid, s2.sid, e2.sid, EXIT],
+            [ENTRY, s1.sid, e1.sid, s2.sid, t2.sid, EXIT],
+            [ENTRY, s1.sid, e1.sid, s2.sid, e2.sid, EXIT],
+        ]
+        ids = [numbering.path_id(p) for p in paths]
+        assert sorted(ids) == [0, 1, 2, 3]
+
+    def test_path_must_start_at_entry(self):
+        cfg = _cfg([Assign("x", 1)])
+        numbering = ball_larus_numbering(cfg)
+        with pytest.raises(ProfilingError):
+            numbering.path_id([EXIT])
+
+    def test_unknown_edge_rejected(self):
+        s = Assign("x", 1)
+        cfg = _cfg([s])
+        numbering = ball_larus_numbering(cfg)
+        with pytest.raises(ProfilingError):
+            numbering.path_id([ENTRY, 424242])
+
+    def test_edge_values_non_negative(self):
+        cfg = _cfg([If(Var("a") > 0, [Assign("x", 1)], [Assign("x", 2)])])
+        numbering = ball_larus_numbering(cfg)
+        assert all(v >= 0 for v in numbering.edge_values.values())

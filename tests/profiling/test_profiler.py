@@ -1,0 +1,112 @@
+"""Unit tests for the sliding-window causal-path profiler."""
+
+import pytest
+
+from repro.core.paths import signature_from_edges
+from repro.errors import ProfilingError
+from repro.lang.ir import CLIENT, EXTERNAL
+from repro.profiling.profiler import CausalPathProfiler
+
+
+def _sig(tag):
+    return signature_from_edges(
+        "go", [(EXTERNAL, "go", "A"), ("A", tag, "B"), ("B", "done", CLIENT)]
+    )
+
+
+@pytest.fixture()
+def profiler():
+    return CausalPathProfiler({"go": [_sig("x"), _sig("y")]}, window_minutes=60.0)
+
+
+class TestSeeding:
+    def test_static_paths_start_at_zero(self, profiler):
+        counts = profiler.counts(0.0)
+        assert len(counts) == 2
+        assert all(c == 0 for c in counts.values())
+
+    def test_invalid_window(self):
+        with pytest.raises(ProfilingError):
+            CausalPathProfiler({}, window_minutes=0)
+
+    def test_paths_for_request(self, profiler):
+        assert len(profiler.paths_for_request("go")) == 2
+        assert profiler.paths_for_request("other") == []
+
+
+class TestRecording:
+    def test_record_increments(self, profiler):
+        pid = profiler.record(_sig("x"), 5.0)
+        assert profiler.counts(5.0)[pid] == 1
+
+    def test_record_with_count(self, profiler):
+        pid = profiler.record(_sig("x"), 5.0, count=10)
+        assert profiler.counts(5.0)[pid] == 10
+
+    def test_zero_count_rejected(self, profiler):
+        with pytest.raises(ProfilingError):
+            profiler.record(_sig("x"), 5.0, count=0)
+
+    def test_unknown_signature_registered_dynamically(self, profiler):
+        new_sig = _sig("z")
+        profiler.record(new_sig, 1.0)
+        assert profiler.dynamic_registrations == 1
+        assert new_sig.path_id in profiler.known_paths()
+
+    def test_static_signature_matches_without_dynamic_registration(self, profiler):
+        profiler.record(_sig("x"), 1.0)
+        assert profiler.dynamic_registrations == 0
+
+
+class TestWindow:
+    def test_counts_age_out(self, profiler):
+        pid = profiler.record(_sig("x"), 0.0)
+        assert profiler.counts(59.0)[pid] == 1
+        assert profiler.counts(61.0)[pid] == 0
+
+    def test_counts_between(self, profiler):
+        pid_x = profiler.record(_sig("x"), 5.0)
+        profiler.record(_sig("x"), 30.0)
+        recent = profiler.counts_between(20.0, 40.0)
+        assert recent[pid_x] == 1
+
+    def test_counts_between_invalid_interval(self, profiler):
+        with pytest.raises(ProfilingError):
+            profiler.counts_between(10.0, 5.0)
+
+    def test_bucket_accumulation_within_minute(self, profiler):
+        pid = profiler.record(_sig("x"), 7.2)
+        profiler.record(_sig("x"), 7.9)
+        assert profiler.counts(8.0)[pid] == 2
+
+    def test_snapshot_totals(self, profiler):
+        profiler.record(_sig("x"), 1.0, count=3)
+        profiler.record(_sig("y"), 1.0, count=2)
+        snap = profiler.snapshot(1.0)
+        assert snap.total == 5
+        assert snap.window_minutes == 60.0
+
+
+class TestPersistence:
+    def test_round_trip_preserves_counts(self, profiler):
+        profiler.record(_sig("x"), 5.0, count=7)
+        profiler.record(_sig("y"), 12.0, count=3)
+        restored = CausalPathProfiler.from_json(profiler.to_json())
+        assert restored.counts(12.0) == profiler.counts(12.0)
+        assert restored.window_minutes == profiler.window_minutes
+
+    def test_round_trip_preserves_paths(self, profiler):
+        restored = CausalPathProfiler.from_json(profiler.to_json())
+        assert set(restored.known_paths()) == set(profiler.known_paths())
+
+    def test_round_trip_preserves_dynamic_registrations(self, profiler):
+        profiler.record(_sig("z"), 1.0)  # dynamic path
+        restored = CausalPathProfiler.from_json(profiler.to_json())
+        assert restored.dynamic_registrations == 1
+        assert _sig("z").path_id in restored.known_paths()
+
+    def test_restored_profiler_keeps_recording(self, profiler):
+        pid = profiler.record(_sig("x"), 5.0)
+        restored = CausalPathProfiler.from_json(profiler.to_json())
+        restored.record(_sig("x"), 6.0)
+        assert restored.counts(6.0)[pid] == 2

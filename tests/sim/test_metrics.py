@@ -1,0 +1,141 @@
+"""Unit tests for interval records and run-level metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EvaluationError
+from repro.sim.metrics import ComponentInterval, IntervalRecord, SimulationResult
+
+
+def _comp(name="a", base=1000.0, overhead=0.0, provisioned=5, ready=5, req=5, pending=0):
+    return ComponentInterval(
+        component=name,
+        base_demand_ms=base,
+        overhead_ms=overhead,
+        capacity_ms=ready * 1000.0,
+        utilization=base / max(1.0, ready * 1000.0),
+        backlog_ms=0.0,
+        ready_nodes=ready,
+        pending_nodes=pending,
+        provisioned_nodes=provisioned,
+        req_min_nodes=req,
+        latency_inflation=1.5,
+    )
+
+
+def _record(time=0.0, comps=None, arrivals=100.0, sla_frac=0.0, infra=0, decreasing=False):
+    comps = comps if comps is not None else {"a": _comp()}
+    return IntervalRecord(
+        time_minutes=time,
+        external_arrivals=arrivals,
+        class_arrivals={"c": int(arrivals)},
+        components=comps,
+        infra_nodes=infra,
+        sla_violation_fraction=sla_frac,
+        app_latency_ms=100.0,
+        workload_decreasing=decreasing,
+        sampled_requests=0,
+    )
+
+
+class TestComponentInterval:
+    def test_excess(self):
+        c = _comp(provisioned=8, req=5)
+        assert c.excess_nodes == 3
+        assert c.shortage_nodes == 0
+
+    def test_shortage_vs_provisioned(self):
+        c = _comp(provisioned=3, ready=3, req=5)
+        assert c.shortage_nodes == 2
+        assert c.excess_nodes == 0
+
+    def test_pending_counts_toward_provisioned(self):
+        c = _comp(provisioned=5, ready=3, pending=2, req=5)
+        assert c.shortage_nodes == 0
+
+    def test_exact_match_is_zero(self):
+        c = _comp(provisioned=5, req=5)
+        assert c.excess_nodes == 0
+        assert c.shortage_nodes == 0
+
+
+class TestIntervalRecord:
+    def test_aggregation_over_components(self):
+        r = _record(comps={"a": _comp("a", provisioned=8, req=5), "b": _comp("b", provisioned=2, ready=2, req=4)})
+        assert r.excess == 3
+        assert r.shortage == 2
+        assert r.agility_contribution == 5
+
+    def test_infra_counts_as_excess(self):
+        r = _record(infra=2)
+        assert r.excess == 2
+
+    def test_overhead_fraction(self):
+        r = _record(comps={"a": _comp(base=1000.0, overhead=100.0)})
+        assert r.overhead_fraction == pytest.approx(0.1)
+
+
+class TestSimulationResult:
+    def _result(self, records):
+        res = SimulationResult(manager_name="m", application="app")
+        for r in records:
+            res.append(r)
+        return res
+
+    def test_empty_result_raises(self):
+        with pytest.raises(EvaluationError):
+            self._result([]).agility()
+
+    def test_agility_is_mean_contribution(self):
+        records = [
+            _record(comps={"a": _comp(provisioned=7, req=5)}),
+            _record(comps={"a": _comp(provisioned=5, req=5)}),
+        ]
+        assert self._result(records).agility() == pytest.approx(1.0)
+
+    def test_sla_percent_request_weighted(self):
+        records = [
+            _record(arrivals=900, sla_frac=0.0),
+            _record(arrivals=100, sla_frac=1.0),
+        ]
+        assert self._result(records).sla_violation_percent() == pytest.approx(10.0)
+
+    def test_zero_agility_fraction(self):
+        records = [
+            _record(comps={"a": _comp(provisioned=5, req=5)}),
+            _record(comps={"a": _comp(provisioned=6, req=5)}),
+        ]
+        assert self._result(records).zero_agility_fraction() == 0.5
+
+    def test_overhead_stats(self):
+        records = [_record(comps={"a": _comp(base=1000, overhead=f)}) for f in (50.0, 100.0, 150.0)]
+        res = self._result(records)
+        assert res.overhead_mean() == pytest.approx(0.1)
+        lo, hi = res.overhead_range_95()
+        assert lo <= res.overhead_mean() <= hi
+
+    def test_series_lengths(self):
+        res = self._result([_record(time=float(t)) for t in range(5)])
+        assert len(res.agility_series()) == 5
+        assert len(res.sla_violation_series()) == 5
+        assert len(res.workload_series()) == 5
+        assert len(res.provisioned_series()) == 5
+        assert len(res.required_series()) == 5
+
+    def test_decreasing_interval_violations(self):
+        records = [
+            _record(sla_frac=0.5, decreasing=False),
+            _record(sla_frac=0.0, decreasing=True),
+        ]
+        assert self._result(records).decreasing_interval_violations() == 0.0
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=30))
+    def test_agility_non_negative_and_zero_iff_exact(self, pairs):
+        records = [
+            _record(comps={"a": _comp(provisioned=prov, ready=max(1, prov), req=req)})
+            for prov, req in pairs
+        ]
+        res = self._result(records)
+        assert res.agility() >= 0
+        if all(p == r for p, r in pairs):
+            assert res.agility() == 0

@@ -1,0 +1,113 @@
+"""Unit and property tests for the queueing approximations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.queueing import (
+    MAX_INFLATION,
+    RHO_CLAMP,
+    latency_inflation,
+    nodes_required,
+    serve_interval,
+    utilization,
+)
+
+
+class TestUtilization:
+    def test_basic_ratio(self):
+        assert utilization(500, 1000) == 0.5
+
+    def test_can_exceed_one(self):
+        assert utilization(2000, 1000) == 2.0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(SimulationError):
+            utilization(-1, 100)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            utilization(10, 0)
+
+
+class TestLatencyInflation:
+    def test_idle_is_one(self):
+        assert latency_inflation(0.0) == 1.0
+
+    def test_mm1_curve(self):
+        assert latency_inflation(0.5) == pytest.approx(2.0)
+        assert latency_inflation(0.75) == pytest.approx(4.0)
+
+    def test_clamped_at_saturation(self):
+        assert latency_inflation(RHO_CLAMP) >= MAX_INFLATION
+
+    def test_grows_past_saturation(self):
+        assert latency_inflation(2.0) > latency_inflation(1.2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            latency_inflation(-0.1)
+
+    @given(st.floats(0.0, 0.97), st.floats(0.0, 0.97))
+    def test_monotonic(self, a, b):
+        lo, hi = sorted((a, b))
+        assert latency_inflation(lo) <= latency_inflation(hi)
+
+
+class TestServeInterval:
+    def test_underloaded_serves_everything(self):
+        r = serve_interval(demand_ms=500, backlog_ms=0, capacity_ms=1000)
+        assert r.served_ms == 500
+        assert r.backlog_ms == 0
+        assert r.rho == 0.5
+
+    def test_overload_accumulates_backlog(self):
+        r = serve_interval(demand_ms=1500, backlog_ms=0, capacity_ms=1000)
+        assert r.served_ms == 1000
+        assert r.backlog_ms == 500
+
+    def test_backlog_drains(self):
+        r = serve_interval(demand_ms=200, backlog_ms=500, capacity_ms=1000)
+        assert r.backlog_ms == 0
+        assert r.served_ms == 700
+
+    def test_utilization_includes_backlog(self):
+        r = serve_interval(demand_ms=500, backlog_ms=500, capacity_ms=1000)
+        assert r.rho == 1.0
+
+    def test_negative_backlog_rejected(self):
+        with pytest.raises(SimulationError):
+            serve_interval(100, -1, 1000)
+
+    @given(
+        st.floats(0, 1e6),
+        st.floats(0, 1e6),
+        st.floats(1, 1e6),
+    )
+    def test_conservation(self, demand, backlog, capacity):
+        """Property: served + carried backlog equals offered work."""
+        r = serve_interval(demand, backlog, capacity)
+        assert r.served_ms + r.backlog_ms == pytest.approx(demand + backlog)
+        assert r.served_ms <= capacity + 1e-9
+        assert r.backlog_ms >= 0
+
+
+class TestNodesRequired:
+    def test_zero_demand_needs_zero(self):
+        assert nodes_required(0, 1000, 0.75) == 0
+
+    def test_exact_fit(self):
+        assert nodes_required(750, 1000, 0.75) == 1
+        assert nodes_required(751, 1000, 0.75) == 2
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            nodes_required(10, 0, 0.75)
+        with pytest.raises(SimulationError):
+            nodes_required(10, 100, 0.0)
+
+    @given(st.floats(0.01, 1e6), st.floats(1, 1e4), st.floats(0.1, 1.0))
+    def test_requirement_is_sufficient(self, demand, cap, util):
+        """Property: the returned node count really keeps ρ ≤ target."""
+        n = nodes_required(demand, cap, util)
+        assert demand <= n * cap * util + 1e-6

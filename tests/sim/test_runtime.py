@@ -1,0 +1,95 @@
+"""Unit tests for the message-level application runtime."""
+
+import pytest
+
+from repro.core.dca import analyze_application
+from repro.errors import SimulationError
+from repro.sim.runtime import ApplicationRuntime
+from repro.workloads.generator import RequestClass
+
+
+REQUEST = RequestClass("go", "start", {"x": 5})
+
+
+class TestPlainExecution:
+    def test_pipeline_trace_counts(self, pipeline_app):
+        runtime = ApplicationRuntime(pipeline_app)
+        trace = runtime.execute_request(REQUEST)
+        assert trace.component_messages == {"A": 1, "B": 1, "C": 1}
+        assert trace.responses == 1
+        assert trace.total_messages() == 4  # external + 2 internal + response
+        assert trace.depth == 3
+
+    def test_plain_runtime_charges_no_instrumentation(self, pipeline_app):
+        runtime = ApplicationRuntime(pipeline_app)
+        trace = runtime.execute_request(REQUEST)
+        assert sum(trace.component_instr_ms.values()) == 0.0
+        assert sum(trace.component_instr_ops.values()) == 0
+
+    def test_unknown_request_type(self, pipeline_app):
+        runtime = ApplicationRuntime(pipeline_app)
+        with pytest.raises(SimulationError):
+            runtime.execute_request(RequestClass("bad", "nope", {}))
+
+    def test_state_persists_across_requests(self, pipeline_app):
+        runtime = ApplicationRuntime(pipeline_app)
+        runtime.execute_request(REQUEST)
+        t2 = runtime.execute_request(REQUEST)
+        # A's accumulator doubles: second response sees acc == 10.
+        response = [m for m in t2.messages if m.dest == "__client__"][0]
+        assert response.fields["v"] == 20  # (5+5) * 2
+
+    def test_reset_state(self, pipeline_app):
+        runtime = ApplicationRuntime(pipeline_app)
+        runtime.execute_request(REQUEST)
+        runtime.reset_state()
+        t2 = runtime.execute_request(REQUEST)
+        response = [m for m in t2.messages if m.dest == "__client__"][0]
+        assert response.fields["v"] == 10
+
+    def test_signature_deterministic(self, pipeline_app):
+        runtime = ApplicationRuntime(pipeline_app)
+        t1 = runtime.execute_request(REQUEST)
+        t2 = runtime.execute_request(REQUEST)
+        assert t1.signature == t2.signature
+
+    def test_message_guard(self, pipeline_app):
+        runtime = ApplicationRuntime(pipeline_app, max_messages_per_request=2)
+        with pytest.raises(SimulationError, match="exceeded"):
+            runtime.execute_request(REQUEST)
+
+
+class TestInstrumentedExecution:
+    def test_instrumented_trace_reports_costs(self, pipeline_app):
+        dca = analyze_application(pipeline_app)
+        runtime = ApplicationRuntime(pipeline_app, dca_result=dca)
+        trace = runtime.execute_request(REQUEST, sampled=True)
+        assert sum(trace.component_instr_ms.values()) > 0
+        # A persists `acc` (1 store) + emits (1 getInfo); B/C only getInfo.
+        assert trace.component_instr_ops["A"] == 2
+        assert trace.component_instr_ops["B"] == 1
+        assert trace.component_instr_ops["C"] == 1
+
+    def test_unsampled_costs_nothing(self, pipeline_app):
+        dca = analyze_application(pipeline_app)
+        runtime = ApplicationRuntime(pipeline_app, dca_result=dca)
+        trace = runtime.execute_request(REQUEST, sampled=False)
+        assert sum(trace.component_instr_ms.values()) == 0.0
+
+    def test_cause_chain_links_messages(self, pipeline_app):
+        dca = analyze_application(pipeline_app)
+        runtime = ApplicationRuntime(pipeline_app, dca_result=dca)
+        trace = runtime.execute_request(REQUEST, sampled=True)
+        by_type = {m.msg_type: m for m in trace.messages}
+        assert by_type["start"].uid in by_type["mid"].cause_uids
+        assert by_type["mid"].uid in by_type["end"].cause_uids
+        assert by_type["end"].uid in by_type["done"].cause_uids
+
+    def test_fanout_counts(self, search_app):
+        from repro.apps.universal_search import WEB_SHARDS
+
+        runtime = ApplicationRuntime(search_app)
+        trace = runtime.execute_request(
+            RequestClass("web", "search", {"kind": "web", "terms": "q"})
+        )
+        assert trace.component_messages["query-index"] == WEB_SHARDS

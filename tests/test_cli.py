@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_analyze_prints_vtr_table(self, capsys):
+        assert main(["analyze", "zookeeper"]) == 0
+        out = capsys.readouterr().out
+        assert "V_tr" in out
+        assert "quorum-log" in out
+        assert "state variables instrumented" in out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "netflix"])
+
+
+class TestPaths:
+    def test_paths_listed_per_request_type(self, capsys):
+        assert main(["paths", "hedwig"]) == 0
+        out = capsys.readouterr().out
+        assert "pub_request: 2 static causal path(s)" in out
+        assert "__client__" in out
+
+
+class TestOverhead:
+    def test_overhead_table(self, capsys):
+        assert main(["overhead", "hedwig", "--rates", "0.1", "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "DCA-10% mean" in out
+        assert "hedwig" in out
+
+
+class TestSimulate:
+    def test_simulate_prints_metrics(self, capsys):
+        assert main(
+            ["simulate", "hedwig", "--manager", "ElasticRMI", "--duration", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "agility" in out
+        assert "SLA violations" in out
+
+    def test_unknown_manager_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "hedwig", "--manager", "Kubernetes"])
+
+
+class TestTable:
+    def test_table_runs_all_managers(self, capsys):
+        assert main(["table", "hedwig", "--duration", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "CloudWatch" in out
+        assert "DCA-10%" in out
+        assert "Fig. 8" in out
+
+
+class TestEntryPoint:
+    def test_module_is_invocable(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "paths", "marketcetera"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "fix_request" in proc.stdout
+
+
+class TestReport:
+    def test_report_written_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "hedwig", "--duration", "12", "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "Fig. 5" in text
+        assert "Fig. 8" in text
+        assert "SLA violations" in text
+        assert "CloudWatch" in text

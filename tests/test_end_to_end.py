@@ -1,0 +1,97 @@
+"""End-to-end integration tests across the whole stack.
+
+These tie the reproduction's pieces together the way the paper's
+evaluation does: DCA instrumentation → graph store → profiler → causal
+probability → proportional scaling, measured with Agility and SLA
+violations against the baselines.
+"""
+
+import pytest
+
+from repro.apps import ecommerce
+from repro.apps.catalog import load_scenario
+from repro.core.dca import analyze_application
+from repro.core.causal_graph import DirectCausalityTracker
+from repro.core.paths import enumerate_causal_paths
+from repro.core.probability import causal_probabilities, component_weights
+from repro.evalx.experiment import ExperimentConfig, run_all_managers
+from repro.profiling.profiler import CausalPathProfiler
+from repro.sim.runtime import ApplicationRuntime
+from repro.workloads.generator import RequestClass
+
+
+class TestPaperSectionIVCExample:
+    """Reproduces the paper's causal-probability walkthrough: a 69/31
+    purchase/simple mix yields P_c = 0.69/0.31 and the corresponding
+    component weights."""
+
+    def test_profile_converges_to_request_mix(self, shop_app):
+        dca = analyze_application(shop_app)
+        runtime = ApplicationRuntime(shop_app, dca_result=dca)
+        profiler = CausalPathProfiler(enumerate_causal_paths(shop_app))
+        tracker = DirectCausalityTracker(profiler)
+        simple, purchase = ecommerce.request_classes()
+
+        for i in range(100):
+            cls = purchase if i % 100 < 69 else simple
+            trace = runtime.execute_request(cls, sampled=True)
+            tracker.observe_all(trace.messages)
+
+        probs = causal_probabilities(profiler.counts(0.0))
+        weights = component_weights(probs, profiler.known_paths())
+        assert weights["web-frontend"] == pytest.approx(1.0)
+        assert weights["payment"] == pytest.approx(0.69, abs=0.01)
+        assert weights["customer-tracking"] == pytest.approx(0.31, abs=0.01)
+        assert weights["price-db"] == pytest.approx(1.0)
+
+    def test_all_observed_paths_statically_predicted(self, shop_app):
+        dca = analyze_application(shop_app)
+        runtime = ApplicationRuntime(shop_app, dca_result=dca)
+        profiler = CausalPathProfiler(enumerate_causal_paths(shop_app))
+        tracker = DirectCausalityTracker(profiler)
+        for cls in ecommerce.request_classes():
+            trace = runtime.execute_request(cls, sampled=True)
+            tracker.observe_all(trace.messages)
+        assert profiler.dynamic_registrations == 0
+
+
+@pytest.mark.slow
+class TestHeadlineOrderings:
+    """Shortened (150-minute) versions of the paper's headline comparisons.
+
+    The full 450-minute runs live in the benchmark harness; these assert
+    the qualitative results the paper leads with.
+    """
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        scenario = load_scenario("hedwig")
+        return run_all_managers(
+            scenario,
+            managers=("CloudWatch", "ElasticRMI", "DCA-10%", "DCA-100%"),
+            config=ExperimentConfig(duration_minutes=150),
+        )
+
+    def test_dca10_beats_cloudwatch_on_agility(self, results):
+        assert results["DCA-10%"].agility() < results["CloudWatch"].agility()
+
+    def test_dca10_beats_elasticrmi_on_agility(self, results):
+        assert results["DCA-10%"].agility() < results["ElasticRMI"].agility()
+
+    def test_dca100_overhead_shows_in_agility(self, results):
+        assert results["DCA-100%"].agility() > results["DCA-10%"].agility()
+
+    def test_dca100_agility_is_excess_dominated(self, results):
+        from repro.evalx.agility import breakdown
+
+        assert breakdown(results["DCA-100%"]).excess_dominated
+
+    def test_dca_sla_below_cloudwatch(self, results):
+        assert (
+            results["DCA-10%"].sla_violation_percent()
+            < results["CloudWatch"].sla_violation_percent()
+        )
+
+    def test_overheads_reported_only_for_dca(self, results):
+        assert results["CloudWatch"].overhead_mean() == 0.0
+        assert results["DCA-100%"].overhead_mean() > results["DCA-10%"].overhead_mean() > 0

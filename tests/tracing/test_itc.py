@@ -1,0 +1,188 @@
+"""Unit and property tests for Interval Tree Clocks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.tracing.itc import (
+    Stamp,
+    join_event,
+    leq_event,
+    max_event,
+    min_event,
+    norm_event,
+    norm_id,
+    split_id,
+    sum_id,
+)
+
+
+class TestIdTrees:
+    def test_norm_collapses(self):
+        assert norm_id((0, 0)) == 0
+        assert norm_id((1, 1)) == 1
+        assert norm_id(((1, 1), 0)) == (1, 0)
+
+    def test_invalid_leaf_rejected(self):
+        with pytest.raises(ReproError):
+            norm_id(2)
+
+    def test_split_seed(self):
+        assert split_id(1) == ((1, 0), (0, 1))
+
+    def test_split_zero(self):
+        assert split_id(0) == (0, 0)
+
+    def test_split_then_sum_is_identity(self):
+        for i in (1, (1, 0), (0, 1), ((1, 0), 1)):
+            a, b = split_id(i)
+            assert sum_id(a, b) == norm_id(i)
+
+    def test_sum_overlapping_rejected(self):
+        with pytest.raises(ReproError):
+            sum_id(1, 1)
+
+
+class TestEventTrees:
+    def test_norm_collapses_equal_leaves(self):
+        assert norm_event((2, 1, 1)) == 3
+
+    def test_norm_sinks_minimum(self):
+        assert norm_event((1, 2, 3)) == (3, 0, 1)
+
+    def test_min_max(self):
+        e = (1, (0, 1, 2), 4)
+        assert min_event(e) == 2
+        assert max_event(e) == 5
+
+    def test_leq_reflexive(self):
+        e = (1, 0, (1, 0, 2))
+        assert leq_event(e, e)
+
+    def test_leq_int_cases(self):
+        assert leq_event(2, 5)
+        assert not leq_event(5, 2)
+        assert leq_event(2, (2, 0, 1))
+        assert not leq_event((2, 0, 1), 2)
+
+    def test_join_is_upper_bound(self):
+        e1 = (1, 2, 0)
+        e2 = (2, 0, 1)
+        j = join_event(e1, e2)
+        assert leq_event(e1, j)
+        assert leq_event(e2, j)
+
+
+class TestStampBasics:
+    def test_seed(self):
+        s = Stamp.seed()
+        assert s.id_tree == 1
+        assert s.event_tree == 0
+
+    def test_event_strictly_inflates(self):
+        s = Stamp.seed()
+        s2 = s.event()
+        assert s.happens_before(s2)
+
+    def test_anonymous_stamp_cannot_event(self):
+        with pytest.raises(ReproError):
+            Stamp.seed().peek().event()
+
+    def test_fork_preserves_history(self):
+        s = Stamp.seed().event().event()
+        a, b = s.fork()
+        assert a.event_tree == s.event_tree
+        assert b.event_tree == s.event_tree
+        assert sum_id(a.id_tree, b.id_tree) == s.id_tree
+
+    def test_fork_event_concurrency(self):
+        a, b = Stamp.seed().fork()
+        a2, b2 = a.event(), b.event()
+        assert a2.concurrent_with(b2)
+
+    def test_join_after_fork_restores_seed_id(self):
+        a, b = Stamp.seed().fork()
+        joined = a.join(b)
+        assert joined.id_tree == 1
+
+    def test_message_passing_creates_happens_before(self):
+        sender, receiver = Stamp.seed().fork()
+        sender = sender.event()           # local event at the sender
+        msg_ts = sender.peek()            # timestamp attached to a message
+        receiver = receiver.join(msg_ts).event()
+        assert sender.leq(receiver)
+        assert not receiver.leq(sender)
+
+    def test_equality_and_hash(self):
+        assert Stamp.seed() == Stamp.seed()
+        assert hash(Stamp.seed()) == hash(Stamp.seed())
+        assert Stamp.seed() != Stamp.seed().event()
+
+
+class TestFig3:
+    """ITCs are temporal, so the paper's Fig. 3 false positive persists."""
+
+    def test_itc_cannot_exclude_unrelated_predecessor(self):
+        server, rest = Stamp.seed().fork()
+        client_a, client_b = rest.fork()
+        msg_a = client_a.event().peek()
+        msg_b = client_b.event().peek()
+        server = server.join(msg_a).join(msg_b).event()
+        response = server.peek()
+        assert leq_event(msg_a.event_tree, response.event_tree)
+        # msgB did not cause the response, but happens-before says it might:
+        assert leq_event(msg_b.event_tree, response.event_tree)
+
+
+@st.composite
+def stamp_pair_after_random_ops(draw):
+    """Run a random fork/event/join schedule over a small stamp population."""
+    stamps = list(Stamp.seed().fork())
+    for _ in range(draw(st.integers(1, 12))):
+        op = draw(st.integers(0, 2))
+        idx = draw(st.integers(0, len(stamps) - 1))
+        if op == 0:
+            stamps[idx] = stamps[idx].event()
+        elif op == 1 and len(stamps) < 6:
+            a, b = stamps[idx].fork()
+            stamps[idx] = a
+            stamps.append(b)
+        elif op == 2 and len(stamps) > 2:
+            other = draw(st.integers(0, len(stamps) - 1))
+            if other != idx:
+                merged = stamps[idx].join(stamps[other])
+                keep = [s for k, s in enumerate(stamps) if k not in (idx, other)]
+                stamps = keep + [merged]
+    i = draw(st.integers(0, len(stamps) - 1))
+    j = draw(st.integers(0, len(stamps) - 1))
+    return stamps[i], stamps[j]
+
+
+class TestStampProperties:
+    @given(stamp_pair_after_random_ops())
+    @settings(max_examples=200, deadline=None)
+    def test_leq_is_a_partial_order(self, pair):
+        a, b = pair
+        assert a.leq(a)
+        if a.leq(b) and b.leq(a):
+            assert a.event_tree == b.event_tree
+
+    @given(stamp_pair_after_random_ops())
+    @settings(max_examples=200, deadline=None)
+    def test_event_dominates_and_join_is_lub(self, pair):
+        a, b = pair
+        if a.id_tree != 0:
+            assert a.happens_before(a.event())
+        try:
+            joined_events = join_event(a.event_tree, b.event_tree)
+        except ReproError:
+            return
+        assert leq_event(a.event_tree, joined_events)
+        assert leq_event(b.event_tree, joined_events)
+
+    @given(stamp_pair_after_random_ops())
+    @settings(max_examples=100, deadline=None)
+    def test_normalisation_is_idempotent(self, pair):
+        a, _ = pair
+        assert norm_event(a.event_tree) == a.event_tree
+        assert norm_id(a.id_tree) == a.id_tree

@@ -1,0 +1,71 @@
+"""Unit tests for the temporal span tracer (Fig. 3's false positives)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.tracing.spans import TemporalSpanTracer
+
+
+class TestSpanBasics:
+    def test_receive_opens_span(self):
+        tracer = TemporalSpanTracer()
+        span = tracer.record_receive("payment", "charge", 100.0, 20.0, trace_root=1)
+        assert span.component == "payment"
+        assert span.end_ms == 120.0
+        assert span.span_id in tracer.spans
+
+    def test_invalid_window(self):
+        with pytest.raises(ReproError):
+            TemporalSpanTracer(attribution_window_ms=0)
+
+
+class TestTemporalParenting:
+    def test_fig3_false_positive(self):
+        """msgA and msgB both precede msgC temporally; the tracer blames both."""
+        tracer = TemporalSpanTracer(attribution_window_ms=50.0)
+        span_a = tracer.record_receive("payment", "process_card", 100.0, 30.0, trace_root=1)
+        span_b = tracer.record_receive("payment", "get_orders", 110.0, 30.0, trace_root=2)
+        emitted = tracer.record_emit(
+            "payment", "card_ok", 130.0, 10.0, "frontend", trace_root=1, true_parent=span_a.span_id
+        )
+        assert span_a.span_id in emitted.parents
+        assert span_b.span_id in emitted.parents  # the false positive
+
+    def test_old_spans_outside_window_excluded(self):
+        tracer = TemporalSpanTracer(attribution_window_ms=50.0)
+        old = tracer.record_receive("c", "x", 0.0, 10.0, trace_root=1)
+        emitted = tracer.record_emit("c", "y", 200.0, 5.0, "d", trace_root=2)
+        assert old.span_id not in emitted.parents
+
+    def test_isolated_request_attributed_precisely(self):
+        tracer = TemporalSpanTracer(attribution_window_ms=50.0)
+        parent = tracer.record_receive("c", "x", 100.0, 10.0, trace_root=1)
+        emitted = tracer.record_emit(
+            "c", "y", 105.0, 5.0, "d", trace_root=1, true_parent=parent.span_id
+        )
+        assert emitted.parents == (parent.span_id,)
+
+
+class TestPrecision:
+    def test_perfect_precision_when_isolated(self):
+        tracer = TemporalSpanTracer()
+        p = tracer.record_receive("c", "x", 0.0, 10.0, trace_root=1)
+        tracer.record_emit("c", "y", 5.0, 5.0, "d", trace_root=1, true_parent=p.span_id)
+        assert tracer.attribution_precision() == 1.0
+
+    def test_precision_degrades_under_concurrency(self):
+        tracer = TemporalSpanTracer(attribution_window_ms=100.0)
+        # Many concurrent requests at the same component.
+        parents = [
+            tracer.record_receive("c", "x", float(t), 50.0, trace_root=t) for t in range(0, 50, 5)
+        ]
+        for i, p in enumerate(parents):
+            tracer.record_emit(
+                "c", "y", 50.0 + i, 5.0, "d", trace_root=i, true_parent=p.span_id
+            )
+        assert tracer.attribution_precision() < 0.5
+
+    def test_precision_without_ground_truth_is_one(self):
+        tracer = TemporalSpanTracer()
+        tracer.record_receive("c", "x", 0.0, 10.0, trace_root=1)
+        assert tracer.attribution_precision() == 1.0
