@@ -22,6 +22,7 @@ import pytest
 from repro.apps.catalog import AppScenario, load_scenario
 from repro.evalx.experiment import ExperimentConfig, run_all_managers
 from repro.sim.metrics import SimulationResult
+from repro.telemetry import get_registry
 
 #: Duration of the paper's experimental run.
 FULL_RUN = 450
@@ -74,6 +75,23 @@ def hedwig_results():
 @pytest.fixture(scope="session")
 def zookeeper_results():
     return get_full_results("zookeeper")
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_snapshot(request):
+    """Attach a telemetry snapshot to every benchmark result.
+
+    The default registry is zeroed before each benchmark and its
+    snapshot is stored in ``benchmark.extra_info`` afterwards, so the
+    ``BENCH_*.json`` perf trajectories carry the run's internal counters
+    (graph-store writes, BFS hops, profiler recordings, …) alongside
+    wall-clock stats.  CI's regression gate reads both.
+    """
+    get_registry().reset()
+    yield
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is not None:
+        benchmark.extra_info["telemetry"] = get_registry().snapshot()
 
 
 def run_once(benchmark, fn):

@@ -19,11 +19,19 @@ into fields outside their declared visibility (tests assert this).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 from repro.core.regression import MachineSpec
 from repro.errors import ElasticityError
+from repro.telemetry import MetricsRegistry, get_registry
+
+#: Bucket bounds (minutes) for scale-up reaction-delay histograms.
+REACTION_DELAY_BUCKETS = (0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0)
+
+#: Utilisation above which a component counts as saturated for the
+#: reaction-delay measurement (matches the managers' emergency bands).
+SATURATION_UTILIZATION = 0.9
 
 
 @dataclass(frozen=True)
@@ -122,9 +130,82 @@ class ElasticityManager(abc.ABC):
     #: "paths" adds causal/span profiles supplied out of band.
     visibility: str = "external"
 
+    #: Telemetry registry (class-level default; instances attach their
+    #: run's registry via :meth:`attach_telemetry`).  Subclasses define
+    #: their own ``__init__`` without calling ``super().__init__``, so
+    #: this state lives in class attributes overridden per instance.
+    _telemetry: Optional[MetricsRegistry] = None
+    _saturation_start_minute: Optional[float] = None
+
+    @property
+    def telemetry(self) -> MetricsRegistry:
+        if self._telemetry is None:
+            self._telemetry = get_registry()
+        return self._telemetry
+
+    def attach_telemetry(self, registry: MetricsRegistry) -> None:
+        """Point this manager's metrics at the given registry (the
+        simulator calls this so one run shares one snapshot surface)."""
+        self._telemetry = registry
+
     @abc.abstractmethod
     def decide(self, observation: ClusterObservation) -> ScalingDecision:
         """Return desired node counts for the next interval."""
+
+    def record_decision(
+        self,
+        observation: ClusterObservation,
+        decision: ScalingDecision,
+    ) -> None:
+        """Export decision telemetry; the simulator calls this per interval.
+
+        Emits, labelled by manager name: a decision counter, per-direction
+        scale event counters, the total target-node gauge, and a
+        reaction-delay histogram measuring minutes from the first
+        saturated interval to the next scale-up decision — the "agility"
+        the paper's Fig. 8 scores, as a live distribution.
+        """
+        labels = {"manager": self.name}
+        registry = self.telemetry
+        registry.counter("autoscale.decisions", labels=labels).inc()
+        current = {
+            comp: obs.nodes + obs.pending_nodes
+            for comp, obs in observation.components.items()
+        }
+        ups = sum(
+            1 for comp, target in decision.targets.items() if target > current.get(comp, 0)
+        )
+        downs = sum(
+            1 for comp, target in decision.targets.items() if target < current.get(comp, 0)
+        )
+        if ups:
+            registry.counter("autoscale.scale_up_events", labels=labels).inc(ups)
+        if downs:
+            registry.counter("autoscale.scale_down_events", labels=labels).inc(downs)
+        registry.gauge("autoscale.target_nodes", labels=labels).set(
+            sum(decision.targets.values()) + decision.infrastructure_nodes
+        )
+        registry.gauge("autoscale.infrastructure_nodes", labels=labels).set(
+            decision.infrastructure_nodes
+        )
+
+        saturated = any(
+            obs.utilization > SATURATION_UTILIZATION
+            for obs in observation.components.values()
+        )
+        now = observation.time_minutes
+        if saturated and self._saturation_start_minute is None:
+            self._saturation_start_minute = now
+        if self._saturation_start_minute is not None and ups:
+            registry.histogram(
+                "autoscale.reaction_delay_minutes",
+                labels=labels,
+                buckets=REACTION_DELAY_BUCKETS,
+            ).observe(now - self._saturation_start_minute)
+            self._saturation_start_minute = None
+        elif not saturated and not ups:
+            # Load fell before the manager reacted; the episode is over.
+            self._saturation_start_minute = None
 
     def runtime_overhead_fraction(self) -> float:
         """Fractional service-time inflation this manager imposes on the app.

@@ -6,6 +6,7 @@ Commands:
 * ``paths <scenario>``     — statically enumerated causal paths
 * ``overhead <scenario>``  — Fig. 5 overhead measurement at one or more rates
 * ``simulate <scenario>``  — run one elasticity manager over the Fig. 7 workload
+* ``metrics <scenario>``   — run a short simulation and print the telemetry snapshot
 * ``table <scenario…>``    — the Fig. 8 agility + RQ5 SLA tables for all managers
 * ``report <scenario…>``   — write the full markdown report to a file
 
@@ -54,6 +55,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--manager", choices=MANAGER_NAMES, default="DCA-10%")
     p_sim.add_argument("--duration", type=int, default=450, help="run minutes")
     p_sim.add_argument("--seed", type=int, default=7)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a short simulation and print the telemetry snapshot as JSON",
+    )
+    p_metrics.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_metrics.add_argument("--manager", choices=MANAGER_NAMES, default="DCA-10%")
+    p_metrics.add_argument("--duration", type=int, default=30, help="run minutes")
+    p_metrics.add_argument("--seed", type=int, default=7)
+    p_metrics.add_argument(
+        "--indent", type=int, default=2, help="JSON indent (0 for compact output)"
+    )
 
     p_table = sub.add_parser("table", help="Fig. 8 agility + RQ5 SLA tables")
     p_table.add_argument("scenarios", nargs="+", choices=sorted(SCENARIOS))
@@ -123,6 +136,19 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    from repro.evalx.experiment import build_simulator
+    from repro.telemetry import MetricsRegistry
+
+    scenario = load_scenario(args.scenario)
+    config = ExperimentConfig(duration_minutes=args.duration, seed=args.seed)
+    registry = MetricsRegistry()
+    simulator = build_simulator(scenario, args.manager, config, registry=registry)
+    simulator.run()
+    print(registry.to_json(indent=args.indent or None))
+    return 0
+
+
 def _cmd_table(args) -> int:
     results_by_app = {}
     for name in args.scenarios:
@@ -175,6 +201,7 @@ _COMMANDS = {
     "paths": _cmd_paths,
     "overhead": _cmd_overhead,
     "simulate": _cmd_simulate,
+    "metrics": _cmd_metrics,
     "table": _cmd_table,
     "report": _cmd_report,
 }

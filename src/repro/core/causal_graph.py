@@ -25,6 +25,7 @@ from repro.graphstore.query import causal_graph_bfs
 from repro.graphstore.store import GraphStore
 from repro.lang.message import Message, MessageUid
 from repro.profiling.profiler import CausalPathProfiler
+from repro.telemetry import MetricsRegistry
 
 
 class DirectCausalityTracker:
@@ -39,6 +40,9 @@ class DirectCausalityTracker:
     evict_completed:
         Whether to remove completed causal graphs from the store
         (production behaviour; tests may disable it to inspect graphs).
+    registry:
+        Telemetry registry; defaults to the store's, so one simulation's
+        components share a single snapshot surface.
     """
 
     def __init__(
@@ -46,15 +50,28 @@ class DirectCausalityTracker:
         profiler: CausalPathProfiler,
         store: Optional[GraphStore] = None,
         evict_completed: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.profiler = profiler
-        self.store = store if store is not None else GraphStore()
+        self.store = store if store is not None else GraphStore(registry=registry)
         self.evict_completed = evict_completed
-        self.completed_paths = 0
+        self.telemetry = registry if registry is not None else self.store.telemetry
+        self._m_observed = self.telemetry.counter("tracker.messages_observed")
+        self._m_sampled_away = self.telemetry.counter("tracker.messages_sampled_away")
+        self._m_completed = self.telemetry.counter("tracker.paths_completed")
+        self._m_discarded = self.telemetry.counter("tracker.completions_discarded")
+        self._m_pending = self.telemetry.gauge("tracker.pending_completion_depth")
+        self._flush_timer = self.telemetry.timer("tracker.flush_seconds")
+        self._base_completed = self._m_completed.value
         self._pending_completion: Set[MessageUid] = set()
         self._now_minutes = 0.0
         # Completion is edge-triggered by response-node insertion.
-        self.store._on_path_complete = self._mark_complete  # noqa: SLF001 — deliberate wiring
+        self.store.subscribe_path_complete(self._mark_complete)
+
+    @property
+    def completed_paths(self) -> int:
+        """Causal paths this tracker has closed (registry-backed)."""
+        return int(self._m_completed.value - self._base_completed)
 
     def advance_to(self, time_minutes: float) -> None:
         """Set the profiler timestamp used for subsequent completions."""
@@ -67,7 +84,9 @@ class DirectCausalityTracker:
         recorded; :meth:`observe_all` does both.
         """
         if not message.sampled:
+            self._m_sampled_away.inc()
             return
+        self._m_observed.inc()
         self.store.add_message(message)
 
     def observe_all(self, messages: Iterable[Message]) -> None:
@@ -80,14 +99,17 @@ class DirectCausalityTracker:
 
     def _mark_complete(self, root: MessageUid) -> None:
         self._pending_completion.add(root)
+        self._m_pending.set(len(self._pending_completion))
 
     def flush(self) -> int:
         """Process all pending completions; return how many paths closed."""
         closed = 0
-        for root in sorted(self._pending_completion):
-            if self._finalize(root):
-                closed += 1
-        self._pending_completion.clear()
+        with self._flush_timer:
+            for root in sorted(self._pending_completion):
+                if self._finalize(root):
+                    closed += 1
+            self._pending_completion.clear()
+            self._m_pending.set(0)
         return closed
 
     def _finalize(self, root: MessageUid) -> bool:
@@ -95,13 +117,15 @@ class DirectCausalityTracker:
             result = causal_graph_bfs(self.store, root)
         except GraphStoreError:
             # Root sampled away (e.g. tracing began mid-path); ignore.
+            self._m_discarded.inc()
             return False
         root_node = self.store.get_node(root)
         if root_node is None:
+            self._m_discarded.inc()
             return False
         signature = signature_from_edges(root_node.msg_type, result.edges)
         self.profiler.record(signature, self._now_minutes)
-        self.completed_paths += 1
+        self._m_completed.inc()
         if self.evict_completed:
             self.store.evict_graph(root)
         return True

@@ -14,7 +14,7 @@ CloudWatch baseline (which regresses on utilisation metrics instead).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

@@ -22,9 +22,8 @@ This module provides the shard-level half of that story:
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.errors import ElasticityError
 from repro.sim.replicas import ReplicatedTrace

@@ -28,6 +28,7 @@ from repro.core.elasticity import (
 from repro.errors import EvaluationError
 from repro.sim.engine import ClusterSimulator, DCABundle, SimulationConfig
 from repro.sim.metrics import SimulationResult
+from repro.telemetry import MetricsRegistry
 from repro.tracing.htrace import HTraceCollector
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.patterns import ScaledPattern, paper_pattern
@@ -91,8 +92,14 @@ def build_simulator(
     scenario: AppScenario,
     manager_name: str,
     config: Optional[ExperimentConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ClusterSimulator:
-    """Construct a fully wired simulator for one manager over one scenario."""
+    """Construct a fully wired simulator for one manager over one scenario.
+
+    ``registry`` threads a single telemetry surface through every layer
+    of the run (graph store, tracker, profiler, manager, engine); the
+    process-default registry is used when omitted.
+    """
     cfg = config or ExperimentConfig()
     generator = _make_generator(scenario, cfg.seed)
     machine = scenario.machine
@@ -100,12 +107,14 @@ def build_simulator(
     if manager_name == "CloudWatch":
         manager: ElasticityManager = CloudWatchManager()
         return ClusterSimulator(
-            scenario.app, generator, dict(scenario.deployments), machine, manager, config=cfg.sim
+            scenario.app, generator, dict(scenario.deployments), machine, manager,
+            config=cfg.sim, telemetry=registry,
         )
     if manager_name == "ElasticRMI":
         manager = ElasticRMIManager()
         return ClusterSimulator(
-            scenario.app, generator, dict(scenario.deployments), machine, manager, config=cfg.sim
+            scenario.app, generator, dict(scenario.deployments), machine, manager,
+            config=cfg.sim, telemetry=registry,
         )
     if manager_name == "HTrace+CW":
         collector = HTraceCollector(seed=cfg.seed)
@@ -118,6 +127,7 @@ def build_simulator(
             manager,
             config=cfg.sim,
             htrace=collector,
+            telemetry=registry,
         )
     rate = DCA_RATES.get(manager_name)
     if rate is None:
@@ -128,6 +138,7 @@ def build_simulator(
         overhead_model=scenario.overhead_model,
         num_front_ends=scenario.num_front_ends,
         seed=cfg.seed,
+        registry=registry,
     )
     manager = DCAElasticityManager(
         profiler=bundle.profiler,
@@ -144,6 +155,7 @@ def build_simulator(
         manager,
         config=cfg.sim,
         dca=bundle,
+        telemetry=registry,
     )
 
 

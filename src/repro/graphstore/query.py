@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Set, Tuple
 
 from repro.errors import GraphStoreError
-from repro.graphstore.store import GraphNode, GraphStore
+from repro.graphstore.store import GRAPH_SIZE_BUCKETS, GraphNode, GraphStore
 from repro.lang.message import MessageUid
 
 #: One hop of a causal path: (source component, message type, destination).
@@ -54,10 +54,12 @@ def causal_graph_bfs(store: GraphStore, root: MessageUid) -> CausalGraphResult:
     order: List[GraphNode] = [root_node]
     edge_set: Set[EdgeTriple] = {(root_node.src, root_node.msg_type, root_node.dest)}
     complete = root_node.is_response
+    hops = 0
     queue: deque = deque([root])
     while queue:
         uid = queue.popleft()
         for succ in sorted(store.successors(uid)):
+            hops += 1
             node = store.get_node(succ)
             if node is None:
                 # The effect node was sampled away or not yet stored; the
@@ -70,6 +72,12 @@ def causal_graph_bfs(store: GraphStore, root: MessageUid) -> CausalGraphResult:
                 visited.add(succ)
                 order.append(node)
                 queue.append(succ)
+    telemetry = store.telemetry
+    telemetry.counter("graphstore.bfs_extractions").inc()
+    telemetry.counter("graphstore.bfs_hops").inc(hops)
+    telemetry.histogram(
+        "graphstore.extracted_graph_size_nodes", buckets=GRAPH_SIZE_BUCKETS
+    ).observe(len(order))
     return CausalGraphResult(
         root=root,
         nodes=tuple(order),

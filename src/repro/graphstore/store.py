@@ -18,6 +18,10 @@ from repro.errors import GraphStoreError
 from repro.graphstore.partition import HashPartitioner
 from repro.lang.ir import CLIENT
 from repro.lang.message import Message, MessageUid
+from repro.telemetry import MetricsRegistry, get_registry
+
+#: Bucket bounds for eviction / extraction size histograms (node counts).
+GRAPH_SIZE_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
 
 
 @dataclass(frozen=True)
@@ -50,23 +54,74 @@ class GraphStore:
     on_path_complete:
         Callback invoked with the *root uid* whenever a response node is
         inserted, signalling that the causal graph rooted there can be
-        extracted (the profiler subscribes to this).
+        extracted (the profiler subscribes to this).  Additional
+        subscribers register via :meth:`subscribe_path_complete`.
+    registry:
+        Telemetry registry the store reports into (the process default
+        when omitted).  Legacy per-instance tallies (``edge_count``,
+        ``index_lookups``, ``cross_partition_edges``) are exposed as
+        baseline-delta properties over the shared counters.
     """
 
     def __init__(
         self,
         num_partitions: int = 4,
         on_path_complete: Optional[Callable[[MessageUid], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self._partitioner = HashPartitioner(num_partitions)
         self._partitions: List[Dict[MessageUid, GraphNode]] = [dict() for _ in range(num_partitions)]
         self._out_edges: Dict[MessageUid, Set[MessageUid]] = {}
         self._in_edges: Dict[MessageUid, Set[MessageUid]] = {}
         self._roots: Dict[MessageUid, MessageUid] = {}
-        self._on_path_complete = on_path_complete
-        self.edge_count = 0
-        self.cross_partition_edges = 0
-        self.index_lookups = 0
+        self._path_complete_subscribers: List[Callable[[MessageUid], None]] = []
+        if on_path_complete is not None:
+            self._path_complete_subscribers.append(on_path_complete)
+        self.telemetry = registry if registry is not None else get_registry()
+        self._m_nodes = self.telemetry.counter("graphstore.nodes_added")
+        self._m_edges = self.telemetry.counter("graphstore.edges_added")
+        self._m_cross = self.telemetry.counter("graphstore.cross_partition_edges")
+        self._m_lookups = self.telemetry.counter("graphstore.index_lookups")
+        self._m_evictions = self.telemetry.counter("graphstore.evictions")
+        self._m_evicted_nodes = self.telemetry.counter("graphstore.evicted_nodes")
+        self._m_evict_size = self.telemetry.histogram(
+            "graphstore.eviction_size_nodes", buckets=GRAPH_SIZE_BUCKETS
+        )
+        self._base_edges = self._m_edges.value
+        self._base_cross = self._m_cross.value
+        self._base_lookups = self._m_lookups.value
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe_path_complete(self, callback: Callable[[MessageUid], None]) -> None:
+        """Register ``callback(root_uid)`` for response-node insertions.
+
+        This is the public wiring point for completion consumers (the
+        tracker, tests, future exporters); multiple subscribers are
+        notified in registration order.
+        """
+        self._path_complete_subscribers.append(callback)
+
+    def _notify_path_complete(self, root: MessageUid) -> None:
+        for callback in self._path_complete_subscribers:
+            callback(root)
+
+    # -- legacy per-instance tallies (now registry-backed) -----------------------
+
+    @property
+    def edge_count(self) -> int:
+        """Edges recorded by *this* store instance."""
+        return int(self._m_edges.value - self._base_edges)
+
+    @property
+    def cross_partition_edges(self) -> int:
+        """Edges of this instance whose endpoints hash to different partitions."""
+        return int(self._m_cross.value - self._base_cross)
+
+    @property
+    def index_lookups(self) -> int:
+        """uid hash-index lookups served by this instance."""
+        return int(self._m_lookups.value - self._base_lookups)
 
     # -- writes ---------------------------------------------------------------
 
@@ -89,8 +144,8 @@ class GraphStore:
         self._roots[message.uid] = root
         for cause in sorted(message.cause_uids):
             self.add_edge(cause, message.uid)
-        if node.is_response and self._on_path_complete is not None:
-            self._on_path_complete(root)
+        if node.is_response:
+            self._notify_path_complete(root)
         return node
 
     def add_edge(self, cause: MessageUid, effect: MessageUid) -> None:
@@ -99,19 +154,20 @@ class GraphStore:
             raise GraphStoreError(f"self-causation edge on {cause}")
         self._out_edges.setdefault(cause, set()).add(effect)
         self._in_edges.setdefault(effect, set()).add(cause)
-        self.edge_count += 1
+        self._m_edges.inc()
         if self._partitioner.partition_of(cause) != self._partitioner.partition_of(effect):
-            self.cross_partition_edges += 1
+            self._m_cross.inc()
 
     def _put_node(self, node: GraphNode) -> None:
         part = self._partitions[self._partitioner.partition_of(node.uid)]
         part[node.uid] = node
+        self._m_nodes.inc()
 
     # -- reads ------------------------------------------------------------------
 
     def get_node(self, uid: MessageUid) -> Optional[GraphNode]:
         """O(1) hash-index lookup of a node by uid."""
-        self.index_lookups += 1
+        self._m_lookups.inc()
         part = self._partitions[self._partitioner.partition_of(uid)]
         return part.get(uid)
 
@@ -167,4 +223,7 @@ class GraphStore:
             for pred in self._in_edges.pop(uid, set()):
                 self._out_edges.get(pred, set()).discard(uid)
             self._roots.pop(uid, None)
+        self._m_evictions.inc()
+        self._m_evicted_nodes.inc(removed)
+        self._m_evict_size.observe(removed)
         return removed

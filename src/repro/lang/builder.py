@@ -30,7 +30,6 @@ from repro.lang.ir import (
     Call,
     Component,
     Const,
-    Expr,
     ExprLike,
     Field,
     Handler,
@@ -41,7 +40,6 @@ from repro.lang.ir import (
     Stmt,
     Var,
     While,
-    as_expr,
 )
 
 __all__ = [

@@ -19,7 +19,7 @@ of the forward slice and component state as the carrier between handlers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import AnalysisError

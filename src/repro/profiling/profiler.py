@@ -14,10 +14,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.paths import PathSignature
 from repro.errors import ProfilingError
+from repro.telemetry import MetricsRegistry, get_registry
 
 
 @dataclass(frozen=True)
@@ -45,25 +46,44 @@ class CausalPathProfiler:
         zero").
     window_minutes:
         Length of the causal-probability history window.
+    registry:
+        Telemetry registry for the profiler's counters (the process
+        default when omitted).  Per-signature completion counts are
+        exported as ``profiler.path_completions{path=<id>}``.
     """
 
     def __init__(
         self,
         static_paths: Mapping[str, Iterable[PathSignature]],
         window_minutes: float = 60.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if window_minutes <= 0:
             raise ProfilingError(f"window_minutes must be positive, got {window_minutes}")
         self.window_minutes = float(window_minutes)
+        self.telemetry = registry if registry is not None else get_registry()
+        self._m_recordings = self.telemetry.counter("profiler.recordings")
+        self._m_unmatched = self.telemetry.counter("profiler.unmatched_observations")
+        self._m_dynamic = self.telemetry.counter("profiler.dynamic_registrations")
+        self._base_unmatched = self._m_unmatched.value
+        self._base_dynamic = self._m_dynamic.value
         self._paths: Dict[str, PathSignature] = {}
         self._by_identity: Dict[Tuple[str, Tuple], str] = {}
         for req_type, signatures in sorted(static_paths.items()):
             for sig in signatures:
                 self._register(sig)
-        self.unmatched_observations = 0
-        self.dynamic_registrations = 0
         # path_id -> OrderedDict[minute_bucket -> count]
         self._buckets: Dict[str, "OrderedDict[int, int]"] = {pid: OrderedDict() for pid in self._paths}
+
+    @property
+    def unmatched_observations(self) -> int:
+        """Observed signatures that were not statically enumerated."""
+        return int(self._m_unmatched.value - self._base_unmatched)
+
+    @property
+    def dynamic_registrations(self) -> int:
+        """Paths added at runtime (observed but not statically known)."""
+        return int(self._m_dynamic.value - self._base_dynamic)
 
     # -- registration ----------------------------------------------------------
 
@@ -100,12 +120,14 @@ class CausalPathProfiler:
         if pid is None:
             pid = self._register(signature)
             self._buckets[pid] = OrderedDict()
-            self.dynamic_registrations += 1
-            self.unmatched_observations += 1
+            self._m_dynamic.inc()
+            self._m_unmatched.inc()
         bucket = int(time_minutes)
         buckets = self._buckets[pid]
         buckets[bucket] = buckets.get(bucket, 0) + count
         self._prune(buckets, time_minutes)
+        self._m_recordings.inc(count)
+        self.telemetry.counter("profiler.path_completions", labels={"path": pid}).inc(count)
         return pid
 
     def _prune(self, buckets: "OrderedDict[int, int]", now: float) -> None:
@@ -202,6 +224,6 @@ class CausalPathProfiler:
             profiler._buckets[pid] = OrderedDict(
                 (int(minute), int(count)) for minute, count in buckets
             )
-        profiler.dynamic_registrations = int(payload.get("dynamic_registrations", 0))
-        profiler.unmatched_observations = int(payload.get("unmatched_observations", 0))
+        profiler._m_dynamic.inc(int(payload.get("dynamic_registrations", 0)))
+        profiler._m_unmatched.inc(int(payload.get("unmatched_observations", 0)))
         return profiler

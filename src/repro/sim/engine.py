@@ -46,6 +46,7 @@ from repro.sim.cluster import Cluster, DeploymentSpec
 from repro.sim.metrics import ComponentInterval, IntervalRecord, SimulationResult
 from repro.sim.queueing import nodes_required, serve_interval
 from repro.sim.runtime import ApplicationRuntime, RequestTrace
+from repro.telemetry import MetricsRegistry, get_registry
 from repro.tracing.htrace import HTraceCollector
 from repro.workloads.generator import WorkloadGenerator
 
@@ -99,8 +100,13 @@ class DCABundle:
         window_minutes: float = 60.0,
         num_front_ends: int = 4,
         seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "DCABundle":
-        """Analyse, instrument, and wire the full DCA pipeline for ``app``."""
+        """Analyse, instrument, and wire the full DCA pipeline for ``app``.
+
+        ``registry`` threads one telemetry surface through the store,
+        tracker, and profiler (the process default when omitted).
+        """
         dca_result = analyze_application(app)
         runtime = ApplicationRuntime(
             app,
@@ -109,8 +115,12 @@ class DCABundle:
             sampling_rate=sampling_rate,
         )
         static_paths = enumerate_causal_paths(app)
-        profiler = CausalPathProfiler(static_paths, window_minutes=window_minutes)
-        tracker = DirectCausalityTracker(profiler, store=GraphStore())
+        profiler = CausalPathProfiler(
+            static_paths, window_minutes=window_minutes, registry=registry
+        )
+        tracker = DirectCausalityTracker(
+            profiler, store=GraphStore(registry=registry), registry=registry
+        )
         sampler = RequestSampler(sampling_rate, num_front_ends=num_front_ends, seed=seed)
         return cls(
             sampling_rate=sampling_rate,
@@ -135,6 +145,7 @@ class ClusterSimulator:
         config: Optional[SimulationConfig] = None,
         dca: Optional[DCABundle] = None,
         htrace: Optional[HTraceCollector] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.app = app
         self.generator = generator
@@ -143,6 +154,17 @@ class ClusterSimulator:
         self.config = config or SimulationConfig()
         self.dca = dca
         self.htrace = htrace
+        if telemetry is not None:
+            self.telemetry = telemetry
+        elif dca is not None:
+            self.telemetry = dca.tracker.telemetry
+        else:
+            self.telemetry = get_registry()
+        manager.attach_telemetry(self.telemetry)
+        self._m_intervals = self.telemetry.counter("sim.intervals")
+        self._m_requests = self.telemetry.counter("sim.external_requests")
+        self._m_sampled = self.telemetry.counter("sim.sampled_requests")
+        self._step_timer = self.telemetry.timer("sim.step_seconds")
         missing = set(app.components) - set(deployments)
         if missing:
             raise SimulationError(f"deployments missing for components: {sorted(missing)}")
@@ -195,12 +217,17 @@ class ClusterSimulator:
     def run(self) -> SimulationResult:
         result = SimulationResult(manager_name=self.manager.name, application=self.app.name)
         for tick in range(self.config.duration_minutes):
-            record, observation = self._step(float(tick))
-            result.append(record)
-            decision = self.manager.decide(observation)
-            self.manager.on_interval_end(observation)
-            self.cluster.apply_targets(dict(decision.targets), float(tick))
-            self._infra_nodes = decision.infrastructure_nodes
+            with self._step_timer:
+                record, observation = self._step(float(tick))
+                result.append(record)
+                decision = self.manager.decide(observation)
+                self.manager.on_interval_end(observation)
+                self.cluster.apply_targets(dict(decision.targets), float(tick))
+                self._infra_nodes = decision.infrastructure_nodes
+            self._m_intervals.inc()
+            self._m_requests.inc(record.external_arrivals)
+            self._m_sampled.inc(record.sampled_requests)
+            self.manager.record_decision(observation, decision)
         return result
 
     def _step(self, now: float) -> Tuple[IntervalRecord, ClusterObservation]:

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import zlib
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.dca import DCAResult
 from repro.core.instrument import InstrumentedComponent, OverheadModel

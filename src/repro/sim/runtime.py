@@ -12,7 +12,7 @@ uid factories, so traces are deterministic and uids match the paper's
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.dca import DCAResult

@@ -1,0 +1,32 @@
+"""Runtime telemetry: the unified metrics layer of the reproduction.
+
+See :mod:`repro.telemetry.metrics` for the instruments and
+``docs/architecture.md`` ("Telemetry") for the metric catalogue and the
+snapshot JSON schema.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    TelemetryError,
+    Timer,
+    get_registry,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "TelemetryError",
+    "Timer",
+    "get_registry",
+]

@@ -1,0 +1,356 @@
+"""Dependency-free runtime metrics: counters, gauges, histograms, timers.
+
+The paper's evaluation (Section V) is built on *measured* runtime
+behaviour — instrumentation overhead, path-counter time series, agility
+and SLA tables — so the runtime layers need a uniform way to expose
+their internal counters.  This module is the single mechanism: a
+:class:`MetricsRegistry` hands out named, optionally labelled metric
+instruments and renders a point-in-time :meth:`~MetricsRegistry.snapshot`
+with a stable, schema-versioned JSON shape that the CLI, the benchmark
+harness, and CI's regression gate all consume.
+
+Design constraints:
+
+* **No third-party dependencies** — the monitoring host must not be
+  heavier than the thing it monitors.
+* **Cheap on the hot path** — incrementing a counter is one float add;
+  metric instruments are created once and cached on the instrumented
+  object, not looked up per event.
+* **Monotonic counters + per-instance baselines** — several runtime
+  objects (graph stores, trackers) historically exposed per-instance
+  tallies (``edge_count`` …).  Those objects capture the counter value
+  at construction time and report the delta, so many instances can share
+  one registry while keeping their legacy attribute semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Version of the snapshot JSON shape.  Bump only with a migration note
+#: in docs/architecture.md; CI's regression gate checks it.
+SCHEMA_VERSION = 1
+
+#: Default histogram bucket upper bounds (seconds-flavoured, Prometheus
+#: style).  Callers measuring sizes/depths pass their own boundaries.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelMapping = Optional[Mapping[str, str]]
+
+
+class TelemetryError(ReproError):
+    """Invalid metric declaration or use."""
+
+
+def _label_key(labels: LabelMapping) -> Tuple[Tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, label_key: Tuple[Tuple[str, str], ...]) -> str:
+    if not label_key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+class Metric:
+    """Base: a named instrument with a frozen label set."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, labels: LabelMapping = None) -> None:
+        if not name:
+            raise TelemetryError("metric name must be non-empty")
+        self.name = name
+        self.labels: Dict[str, str] = dict(_label_key(labels))
+
+    @property
+    def key(self) -> str:
+        """Stable registry key: ``name`` or ``name{k=v,…}`` (sorted labels)."""
+        return _render_key(self.name, _label_key(self.labels))
+
+    def to_dict(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing count of events."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelMapping = None) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(f"counter {self.key} cannot decrease (inc by {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self._value, "labels": self.labels}
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+
+class Gauge(Metric):
+    """Point-in-time value that can move both ways (depths, sizes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelMapping = None) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self._value, "labels": self.labels}
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with percentile estimation.
+
+    Buckets are cumulative-style upper bounds (a sample lands in the
+    first bucket whose bound is >= the value; larger samples land in the
+    implicit overflow bucket).  Percentiles are estimated from the bucket
+    counts, so they are exact to bucket resolution — good enough for
+    regression gating, free of per-sample storage.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelMapping = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise TelemetryError(f"histogram {name} needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise TelemetryError(f"histogram {name} has duplicate bucket bounds")
+        self.bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +1 overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._bucket_counts[i] += 1
+                return
+        self._bucket_counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) from bucket counts.
+
+        Returns the upper bound of the bucket holding the quantile (the
+        observed max for the overflow bucket), 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            cumulative += self._bucket_counts[i]
+            if cumulative >= rank:
+                return bound
+        return self._max if self._max is not None else self.bounds[-1]
+
+    def to_dict(self) -> Dict[str, object]:
+        buckets = {str(b): c for b, c in zip(self.bounds, self._bucket_counts)}
+        buckets["+Inf"] = self._bucket_counts[-1]
+        return {
+            "type": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "buckets": buckets,
+            "labels": self.labels,
+        }
+
+    def reset(self) -> None:
+        self._bucket_counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+
+
+class Timer:
+    """Context manager recording elapsed wall-clock seconds into a histogram.
+
+    Re-entrant across uses (not nested): one Timer can time many
+    successive blocks, e.g. every simulation interval.
+    """
+
+    def __init__(self, histogram: Histogram) -> None:
+        self.histogram = histogram
+        self._started: Optional[float] = None
+        self.last_seconds: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._started is not None:
+            self.last_seconds = time.perf_counter() - self._started
+            self.histogram.observe(self.last_seconds)
+            self._started = None
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric instruments.
+
+    Identity is (name, sorted labels); asking twice for the same identity
+    returns the same instrument, so instrumented objects can share
+    aggregate metrics across a whole simulation while holding direct
+    references for hot-path updates.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- get-or-create -----------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, labels: LabelMapping, **kwargs) -> Metric:
+        key = _render_key(name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels=labels, **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TelemetryError(
+                f"metric {key!r} already registered as {metric.kind}, not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, labels: LabelMapping = None) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, labels: LabelMapping = None) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: LabelMapping = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    def timer(
+        self,
+        name: str,
+        labels: LabelMapping = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Timer:
+        return Timer(self.histogram(name, labels=labels, buckets=buckets))
+
+    # -- introspection -----------------------------------------------------------
+
+    def get(self, name: str, labels: LabelMapping = None) -> Optional[Metric]:
+        return self._metrics.get(_render_key(name, _label_key(labels)))
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -- export ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time export: ``{"schema": 1, "metrics": {key: {...}}}``."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "metrics": {key: self._metrics[key].to_dict() for key in sorted(self._metrics)},
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Zero every registered instrument (identities are kept)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every instrument (existing references keep working but
+        are no longer exported)."""
+        self._metrics.clear()
+
+
+#: Process-wide default registry: instrumented objects that are not
+#: handed an explicit registry report here, so ad-hoc scripts and the
+#: ``repro metrics`` CLI see everything without wiring.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT_REGISTRY

@@ -1,7 +1,6 @@
 """Tests for the motivating applications: Universal Search (Fig. 1) and
 E-Commerce (Fig. 2)."""
 
-import pytest
 
 from repro.apps import ecommerce, universal_search
 from repro.apps.universal_search import NEWS_SHARDS, WEB_SHARDS

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.dca import analyze_application, analyze_component
 from repro.errors import AnalysisError
-from repro.lang.builder import AppBuilder, ComponentBuilder, field, var
+from repro.lang.builder import ComponentBuilder, field, var
 from repro.lang.ir import CLIENT
 
 

@@ -7,8 +7,6 @@ These tests pin the exact behaviour the paper illustrates:
 
 import pytest
 
-from repro.apps import fig4
-from repro.core.dca import analyze_application
 from repro.core.instrument import InstrumentedComponent
 from repro.lang.ir import EXTERNAL
 from repro.lang.message import Message, UidFactory

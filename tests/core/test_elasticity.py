@@ -8,7 +8,7 @@ from repro.core.elasticity import (
     DCAManagerConfig,
     detect_serialization_suspects,
 )
-from repro.core.paths import enumerate_causal_paths, signature_from_edges
+from repro.core.paths import signature_from_edges
 from repro.core.regression import MachineSpec
 from repro.errors import ElasticityError
 from repro.profiling.profiler import CausalPathProfiler

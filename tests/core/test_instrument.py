@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.dca import analyze_application
 from repro.core.instrument import InstrumentedComponent, OverheadModel, instrument_application
 from repro.errors import AnalysisError
 from repro.lang.ir import EXTERNAL

@@ -1,15 +1,12 @@
 """Unit tests for static causal-path enumeration and path signatures."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.paths import (
-    PathSignature,
     enumerate_causal_paths,
     handler_emission_sets,
     signature_from_edges,
 )
-from repro.errors import AnalysisError
 from repro.lang.builder import AppBuilder, ComponentBuilder, field, var
 from repro.lang.ir import CLIENT, EXTERNAL, Handler, If, Send, While
 

@@ -10,7 +10,6 @@ emission for at least some generated program (a smoke check that the
 analysis is not vacuously conservative).
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.dca import analyze_component

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import EvaluationError
 from repro.evalx.overhead import OverheadMeasurement, measure_overhead
 from repro.evalx.reporting import fig5_table, fig8_table, format_table, sla_table, sparkline
-from repro.evalx.sla import SLAReport, rank_managers, sla_report
+from repro.evalx.sla import rank_managers, sla_report
 from repro.sim.metrics import SimulationResult
 from tests.sim.test_metrics import _comp, _record
 

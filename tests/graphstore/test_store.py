@@ -135,3 +135,73 @@ class TestGraphStore:
         before = store.index_lookups
         store.get_node(msg.uid)
         assert store.index_lookups == before + 1
+
+    def test_subscribe_path_complete_multiple_subscribers_in_order(self):
+        calls = []
+        store = GraphStore(on_path_complete=lambda root: calls.append(("ctor", root)))
+        store.subscribe_path_complete(lambda root: calls.append(("sub", root)))
+        root = _msg(1, src=EXTERNAL, dest="A")
+        response = _msg(2, src="A", dest=CLIENT, causes=[root.uid], root=root.uid)
+        store.add_message(root)
+        store.add_message(response)
+        assert calls == [("ctor", root.uid), ("sub", root.uid)]
+
+
+class TestEvictGraphEdgeCases:
+    def test_evict_follows_shared_cause_into_open_graph(self):
+        """Eviction is reachability-based: a node of a still-open graph whose
+        *only* link is a cause inside the evicted graph is swept too, but the
+        open graph's root and its other descendants survive with clean edges."""
+        store = GraphStore()
+        root_a = _msg(1, src=EXTERNAL, dest="A")
+        shared = _msg(2, src="A", dest="B", causes=[root_a.uid], root=root_a.uid)
+        root_b = _msg(10, src=EXTERNAL, dest="A")
+        bridged = _msg(
+            11, src="A", dest="B", causes=[root_b.uid, shared.uid], root=root_b.uid
+        )
+        b_only = _msg(12, src="A", dest="B", causes=[root_b.uid], root=root_b.uid)
+        for m in (root_a, shared, root_b, bridged, b_only):
+            store.add_message(m)
+
+        removed = store.evict_graph(root_a.uid)
+
+        # root_a, shared, and the bridged node (reachable via the shared cause).
+        assert removed == 3
+        assert store.get_node(root_b.uid) is not None
+        assert store.get_node(b_only.uid) is not None
+        assert store.node_count() == 2
+        # root_b no longer has a dangling out-edge to the swept bridged node.
+        assert store.successors(root_b.uid) == {b_only.uid}
+
+    def test_evict_with_sampled_away_cause_uid(self):
+        """A cause uid dropped by sampling never materialises as a node; the
+        recorded edge must not inflate the removal count and must be cleaned."""
+        store = GraphStore()
+        phantom = _uid(99)
+        root = _msg(1, src=EXTERNAL, dest="A")
+        child = _msg(2, src="A", dest="B", causes=[root.uid, phantom], root=root.uid)
+        store.add_message(root)
+        store.add_message(child)
+        assert store.successors(phantom) == {child.uid}
+
+        removed = store.evict_graph(root.uid)
+
+        assert removed == 2  # phantom never existed, only real nodes counted
+        assert store.node_count() == 0
+        assert store.successors(phantom) == set()
+
+    def test_double_eviction_is_idempotent(self):
+        store = GraphStore()
+        root = _msg(1, src=EXTERNAL, dest="A")
+        leaf = _msg(2, src="A", dest=CLIENT, causes=[root.uid], root=root.uid)
+        store.add_message(root)
+        store.add_message(leaf)
+        assert store.evict_graph(root.uid) == 2
+        assert store.evict_graph(root.uid) == 0
+        assert store.node_count() == 0
+
+    def test_evict_unknown_root_removes_nothing(self):
+        store = GraphStore()
+        store.add_message(_msg(1))
+        assert store.evict_graph(_uid(77)) == 0
+        assert store.node_count() == 1

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import AnalysisError
-from repro.lang.cfg import CFG, ENTRY, EXIT, build_cfg, control_dependences, postdominators
-from repro.lang.ir import Assign, Handler, If, Send, Skip, Var, While
+from repro.lang.cfg import ENTRY, EXIT, build_cfg, control_dependences, postdominators
+from repro.lang.ir import Assign, Handler, If, Send, Var, While
 
 
 def _cfg(body):

@@ -8,7 +8,6 @@ soundness test — together they establish that DCA's combination of
 cause the paper's definition requires.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.dca import analyze_component

@@ -1,0 +1,150 @@
+"""Unit tests for the dependency-free telemetry registry."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryError,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("requests")
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+    def test_telemetry_error_is_repro_error(self):
+        assert issubclass(TelemetryError, ReproError)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class TestHistogram:
+    def test_counts_and_summary_stats(self):
+        h = MetricsRegistry().histogram("size", buckets=(1, 5, 10))
+        for v in (0.5, 3, 7, 20):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 4
+        assert d["sum"] == pytest.approx(30.5)
+        assert d["min"] == 0.5
+        assert d["max"] == 20
+
+    def test_percentile_reports_bucket_upper_bound(self):
+        h = MetricsRegistry().histogram("size", buckets=(1, 5, 10))
+        for _ in range(99):
+            h.observe(0.5)
+        h.observe(7)
+        assert h.percentile(0.5) == 1
+        assert h.percentile(0.99) == 1
+        assert h.percentile(1.0) == 10
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("size", buckets=(1, 5))
+        d = h.to_dict()
+        assert d["count"] == 0
+        assert h.percentile(0.5) == 0.0
+
+
+class TestTimer:
+    def test_timer_observes_into_histogram(self):
+        reg = MetricsRegistry()
+        t = reg.timer("op_seconds")
+        with t:
+            pass
+        with t:
+            pass
+        hist = reg.get("op_seconds")
+        assert hist.to_dict()["count"] == 2
+        assert hist.to_dict()["sum"] >= 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TelemetryError):
+            reg.gauge("a")
+
+    def test_labels_produce_distinct_sorted_keys(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("hits", labels={"b": "2", "a": "1"})
+        c2 = reg.counter("hits", labels={"a": "1", "b": "2"})
+        c3 = reg.counter("hits", labels={"a": "other"})
+        assert c1 is c2
+        assert c1 is not c3
+        assert c1.key == 'hits{a=1,b=2}'
+
+    def test_snapshot_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("b").set(1.5)
+        snap = reg.snapshot()
+        assert snap["schema"] == SCHEMA_VERSION
+        assert snap["metrics"]["a"]["value"] == 3
+        assert snap["metrics"]["b"]["value"] == 1.5
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        payload = json.loads(reg.to_json())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert "a" in payload["metrics"]
+
+    def test_reset_zeroes_but_keeps_identity(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc(7)
+        reg.reset()
+        assert c.value == 0
+        assert reg.counter("a") is c
+
+    def test_clear_forgets_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.clear()
+        assert reg.get("a") is None
+
+    def test_iteration_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert sorted(m.key for m in reg) == ["a", "b"]
+        assert set(reg.names()) == {"a", "b"}
+
+    def test_default_registry_is_singleton(self):
+        assert get_registry() is get_registry()
+        assert isinstance(get_registry().counter("test.singleton"), Counter)
+
+    def test_metric_types_exported(self):
+        reg = MetricsRegistry()
+        assert isinstance(reg.gauge("g"), Gauge)
+        assert isinstance(reg.histogram("h"), Histogram)

@@ -48,6 +48,19 @@ class TestSimulate:
             main(["simulate", "hedwig", "--manager", "Kubernetes"])
 
 
+class TestMetrics:
+    def test_metrics_prints_schema_versioned_snapshot(self, capsys):
+        import json
+
+        assert main(["metrics", "hedwig", "--duration", "10"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        keys = payload["metrics"]
+        for family in ("graphstore.", "tracker.", "profiler.", "autoscale.", "sim."):
+            assert any(k.startswith(family) for k in keys), f"missing {family} metrics"
+        assert keys["sim.intervals"]["value"] == 10
+
+
 class TestTable:
     def test_table_runs_all_managers(self, capsys):
         assert main(["table", "hedwig", "--duration", "12"]) == 0

@@ -17,7 +17,6 @@ from repro.core.probability import causal_probabilities, component_weights
 from repro.evalx.experiment import ExperimentConfig, run_all_managers
 from repro.profiling.profiler import CausalPathProfiler
 from repro.sim.runtime import ApplicationRuntime
-from repro.workloads.generator import RequestClass
 
 
 class TestPaperSectionIVCExample:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.paths import signature_from_edges
 from repro.graphstore.store import GraphStore
-from repro.lang.builder import ComponentBuilder, call, field, var
+from repro.lang.builder import ComponentBuilder, call
 from repro.lang.interpreter import Interpreter, ReplicaState
 from repro.lang.ir import (
     Assign,
