@@ -1,0 +1,174 @@
+"""End-to-end tracker throughput: observe → complete → evict.
+
+The DCA hot path is the store→tracker→profiler pipeline: every sampled
+message is inserted into the graph store, every response closes a causal
+path whose signature is handed to the profiler, and the completed graph
+is evicted to bound memory.  These benchmarks push synthetic message
+batches through :class:`DirectCausalityTracker` end to end and report
+messages/sec in ``extra_info`` so the perf trajectory of the pipeline is
+tracked by CI's regression gate alongside raw wall-clock stats.
+
+Three shapes cover the store's behaviours: linear chains (depth-dominated),
+fan-out/fan-in trees (width-dominated, shared causes), and chains with
+sampling gaps (causes that never materialise as nodes).
+"""
+
+from repro.core.causal_graph import DirectCausalityTracker
+from repro.lang.ir import CLIENT, EXTERNAL
+from repro.lang.message import Message, MessageUid
+from repro.profiling.profiler import CausalPathProfiler
+
+
+def _chain_requests(num_requests, depth):
+    """Independent root→…→response chains, one batch per request."""
+    batches = []
+    seq = 1
+    for _ in range(num_requests):
+        root = Message(MessageUid("h", 1, seq), "req", EXTERNAL, "C0")
+        seq += 1
+        msgs = [root]
+        prev = root
+        for i in range(1, depth):
+            dest = CLIENT if i == depth - 1 else f"C{i}"
+            msg = Message(
+                MessageUid("h", 1, seq),
+                f"m{i}",
+                f"C{i - 1}",
+                dest,
+                cause_uids=frozenset({prev.uid}),
+                root_uid=root.uid,
+            )
+            seq += 1
+            msgs.append(msg)
+            prev = msg
+        batches.append(msgs)
+    return batches
+
+
+def _tree_requests(num_requests, fanout, levels):
+    """Fan-out trees whose leaves fan back in to a single response."""
+    batches = []
+    seq = 1
+    for _ in range(num_requests):
+        root = Message(MessageUid("h", 2, seq), "req", EXTERNAL, "L0")
+        seq += 1
+        msgs = [root]
+        frontier = [root]
+        for level in range(1, levels + 1):
+            next_frontier = []
+            for parent in frontier:
+                for k in range(fanout):
+                    msg = Message(
+                        MessageUid("h", 2, seq),
+                        f"t{level}.{k}",
+                        f"L{level - 1}",
+                        f"L{level}",
+                        cause_uids=frozenset({parent.uid}),
+                        root_uid=root.uid,
+                    )
+                    seq += 1
+                    msgs.append(msg)
+                    next_frontier.append(msg)
+            frontier = next_frontier
+        response = Message(
+            MessageUid("h", 2, seq),
+            "done",
+            f"L{levels}",
+            CLIENT,
+            cause_uids=frozenset(leaf.uid for leaf in frontier),
+            root_uid=root.uid,
+        )
+        seq += 1
+        msgs.append(response)
+        batches.append(msgs)
+    return batches
+
+
+def _gapped_requests(num_requests, depth, gap_every=5):
+    """Chains where every ``gap_every``-th hop was sampled away.
+
+    The missing node's uid still appears as a cause of its effect, so the
+    store records a dangling edge; everything downstream of the gap is
+    disconnected from the root and must be excluded from the signature.
+    """
+    batches = []
+    seq = 1
+    for _ in range(num_requests):
+        root = Message(MessageUid("h", 3, seq), "req", EXTERNAL, "C0")
+        seq += 1
+        msgs = [root]
+        prev = root
+        for i in range(1, depth):
+            dest = CLIENT if i == depth - 1 else f"C{i}"
+            msg = Message(
+                MessageUid("h", 3, seq),
+                f"m{i}",
+                f"C{i - 1}",
+                dest,
+                cause_uids=frozenset({prev.uid}),
+                root_uid=root.uid,
+                sampled=(i % gap_every != 0),
+            )
+            seq += 1
+            msgs.append(msg)
+            prev = msg
+        batches.append(msgs)
+    return batches
+
+
+def _pipeline():
+    profiler = CausalPathProfiler({})
+    tracker = DirectCausalityTracker(profiler)
+    return tracker
+
+
+def _drive(benchmark, batches, min_completions):
+    tracker = _pipeline()
+    total_messages = sum(len(batch) for batch in batches)
+
+    def run():
+        for batch in batches:
+            tracker.observe_all(batch)
+        return tracker.completed_paths
+
+    benchmark(run)
+    assert tracker.completed_paths >= min_completions
+    assert tracker.store.node_count() == 0  # every graph evicted
+    benchmark.extra_info["messages_per_round"] = total_messages
+    if benchmark.stats.stats.mean > 0:
+        benchmark.extra_info["messages_per_sec"] = round(
+            total_messages / benchmark.stats.stats.mean
+        )
+
+
+def test_bench_tracker_chain_throughput(benchmark):
+    _drive(benchmark, _chain_requests(num_requests=40, depth=25), min_completions=40)
+
+
+def test_bench_tracker_fanout_throughput(benchmark):
+    # 1 + 3 + 9 + 27 + 1 = 41 messages per request.
+    _drive(benchmark, _tree_requests(num_requests=25, fanout=3, levels=3), min_completions=25)
+
+
+def test_bench_tracker_sampling_gap_throughput(benchmark):
+    tracker = _pipeline()
+    batches = _gapped_requests(num_requests=40, depth=24, gap_every=5)
+    total_messages = sum(len(batch) for batch in batches)
+
+    def run():
+        for batch in batches:
+            tracker.observe_all(batch)
+        return tracker.completed_paths
+
+    benchmark(run)
+    # Each response closes a (truncated) path: the hops downstream of the
+    # first gap are disconnected from the root and excluded from the
+    # signature, and eviction cannot reach them — the worst case for
+    # completion bookkeeping.
+    assert tracker.completed_paths >= 40
+    assert tracker.store.node_count() <= total_messages
+    benchmark.extra_info["messages_per_round"] = total_messages
+    if benchmark.stats.stats.mean > 0:
+        benchmark.extra_info["messages_per_sec"] = round(
+            total_messages / benchmark.stats.stats.mean
+        )

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Benchmark regression gate: fail CI when throughput drops too far.
 
-Runs the core microbenchmarks (``bench_micro_core.py`` and
-``bench_ablation_graphstore.py``) under pytest-benchmark, writes the
+Runs the core microbenchmarks (``bench_micro_core.py``,
+``bench_ablation_graphstore.py`` and ``bench_micro_tracker.py``, the
+end-to-end tracker throughput suite) under pytest-benchmark, writes the
 ``BENCH_ci.json`` artifact (each result carries a telemetry snapshot in
 ``extra_info``), and compares per-benchmark mean times against the
 committed ``benchmarks/baseline.json``.  A benchmark whose throughput
@@ -47,6 +48,7 @@ RESULTS_PATH = REPO_ROOT / "BENCH_ci.json"
 BENCH_FILES = (
     "benchmarks/bench_micro_core.py",
     "benchmarks/bench_ablation_graphstore.py",
+    "benchmarks/bench_micro_tracker.py",
 )
 
 #: Calibration can scale the allowance by at most this factor either

@@ -3,9 +3,10 @@
 :class:`DirectCausalityTracker` is the "monitoring host" side of DCA:
 instrumented components report every (sampled) message they emit; the
 tracker stores nodes/edges in the graph store; when a response node
-completes a causal graph, the tracker extracts it by BFS, increments the
-matching path counter in the profiler, and evicts the graph to bound
-memory.
+completes a causal graph, the tracker reads the signature the store has
+been accumulating incrementally (O(1) in the graph size — no BFS on the
+hot path; see :mod:`repro.graphstore.store`), increments the matching
+path counter in the profiler, and evicts the graph to bound memory.
 
 Completion is edge-triggered by the insertion of a response node (as in
 the paper: the BFS "is triggered at the graph store when the edge
@@ -17,11 +18,9 @@ path.  :meth:`observe_all` flushes automatically.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set
+from typing import Dict, Iterable, Optional
 
 from repro.core.paths import signature_from_edges
-from repro.errors import GraphStoreError
-from repro.graphstore.query import causal_graph_bfs
 from repro.graphstore.store import GraphStore
 from repro.lang.message import Message, MessageUid
 from repro.profiling.profiler import CausalPathProfiler
@@ -63,7 +62,9 @@ class DirectCausalityTracker:
         self._m_pending = self.telemetry.gauge("tracker.pending_completion_depth")
         self._flush_timer = self.telemetry.timer("tracker.flush_seconds")
         self._base_completed = self._m_completed.value
-        self._pending_completion: Set[MessageUid] = set()
+        # Insertion-ordered dict used as a set: completions are processed
+        # in arrival order, which is deterministic without sorting.
+        self._pending_completion: Dict[MessageUid, None] = {}
         self._now_minutes = 0.0
         # Completion is edge-triggered by response-node insertion.
         self.store.subscribe_path_complete(self._mark_complete)
@@ -90,22 +91,36 @@ class DirectCausalityTracker:
         self.store.add_message(message)
 
     def observe_all(self, messages: Iterable[Message]) -> None:
-        """Record a batch of messages, then process completed paths."""
+        """Record a batch of messages, then process completed paths.
+
+        Counter updates are batched per call rather than per message.
+        """
+        observed = 0
+        sampled_away = 0
+        add_message = self.store.add_message
         for message in messages:
-            self.observe_message(message)
+            if message.sampled:
+                observed += 1
+                add_message(message)
+            else:
+                sampled_away += 1
+        if observed:
+            self._m_observed.inc(observed)
+        if sampled_away:
+            self._m_sampled_away.inc(sampled_away)
         self.flush()
 
     # -- completion --------------------------------------------------------------
 
     def _mark_complete(self, root: MessageUid) -> None:
-        self._pending_completion.add(root)
+        self._pending_completion[root] = None
         self._m_pending.set(len(self._pending_completion))
 
     def flush(self) -> int:
         """Process all pending completions; return how many paths closed."""
         closed = 0
         with self._flush_timer:
-            for root in sorted(self._pending_completion):
+            for root in self._pending_completion:
                 if self._finalize(root):
                     closed += 1
             self._pending_completion.clear()
@@ -113,17 +128,13 @@ class DirectCausalityTracker:
         return closed
 
     def _finalize(self, root: MessageUid) -> bool:
-        try:
-            result = causal_graph_bfs(self.store, root)
-        except GraphStoreError:
+        completed = self.store.completed_signature(root)
+        if completed is None:
             # Root sampled away (e.g. tracing began mid-path); ignore.
             self._m_discarded.inc()
             return False
-        root_node = self.store.get_node(root)
-        if root_node is None:
-            self._m_discarded.inc()
-            return False
-        signature = signature_from_edges(root_node.msg_type, result.edges)
+        request_type, edges = completed
+        signature = signature_from_edges(request_type, edges)
         self.profiler.record(signature, self._now_minutes)
         self._m_completed.inc()
         if self.evict_completed:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.errors import AnalysisError
@@ -43,9 +44,14 @@ class PathSignature:
     request_type: str
     edges: Tuple[EdgeTriple, ...]
 
-    @property
+    @cached_property
     def path_id(self) -> str:
-        """Stable short identifier (for reports and registry keys)."""
+        """Stable short identifier (for reports and registry keys).
+
+        Computed once per instance — profiler recording reads it on every
+        path completion, and the sha1 is pure function of the (frozen)
+        fields.
+        """
         digest = hashlib.sha1(repr((self.request_type, self.edges)).encode("utf-8")).hexdigest()
         return f"{self.request_type}:{digest[:10]}"
 

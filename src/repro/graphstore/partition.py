@@ -30,6 +30,15 @@ class HashPartitioner:
         self.num_partitions = int(num_partitions)
 
     def partition_of(self, uid: MessageUid) -> int:
-        """Partition index for ``uid`` (stable across processes)."""
-        key = f"{uid.address}/{uid.process_id}/{uid.seq}".encode("utf-8")
-        return zlib.crc32(key) % self.num_partitions
+        """Partition index for ``uid`` (stable across processes).
+
+        The crc of the uid triple is intrinsic to the uid, so it is
+        computed once and cached on the uid itself — ``add_message`` and
+        ``get_node`` hash the same uid repeatedly on the hot path.
+        """
+        crc = uid._crc
+        if crc is None:
+            key = f"{uid.address}/{uid.process_id}/{uid.seq}".encode("utf-8")
+            crc = zlib.crc32(key)
+            object.__setattr__(uid, "_crc", crc)
+        return crc % self.num_partitions

@@ -5,6 +5,11 @@ unique identifier of [the] message corresponding to the external user
 request, until the node corresponding to the response from the
 application is obtained"; each hop is an O(1) hash-index lookup, giving
 O(|causal graph(M)|) total work.
+
+Since the incremental-signature rework (see :mod:`repro.graphstore.store`)
+this BFS is no longer on the completion hot path: the tracker reads
+accumulated signatures in O(1).  It remains the query/debug API and the
+oracle the equivalence tests compare the incremental signatures against.
 """
 
 from __future__ import annotations
@@ -14,11 +19,17 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Set, Tuple
 
 from repro.errors import GraphStoreError
-from repro.graphstore.store import GRAPH_SIZE_BUCKETS, GraphNode, GraphStore
+from repro.graphstore.store import EdgeTriple, GraphNode, GraphStore
 from repro.lang.message import MessageUid
 
-#: One hop of a causal path: (source component, message type, destination).
-EdgeTriple = Tuple[str, str, str]
+__all__ = [
+    "CausalGraphResult",
+    "EdgeTriple",
+    "ancestors_of",
+    "causal_graph_bfs",
+    "reachable_set",
+    "to_dot",
+]
 
 
 @dataclass(frozen=True)
@@ -58,7 +69,7 @@ def causal_graph_bfs(store: GraphStore, root: MessageUid) -> CausalGraphResult:
     queue: deque = deque([root])
     while queue:
         uid = queue.popleft()
-        for succ in sorted(store.successors(uid)):
+        for succ in sorted(store.iter_successors(uid)):
             hops += 1
             node = store.get_node(succ)
             if node is None:
@@ -72,12 +83,11 @@ def causal_graph_bfs(store: GraphStore, root: MessageUid) -> CausalGraphResult:
                 visited.add(succ)
                 order.append(node)
                 queue.append(succ)
-    telemetry = store.telemetry
-    telemetry.counter("graphstore.bfs_extractions").inc()
-    telemetry.counter("graphstore.bfs_hops").inc(hops)
-    telemetry.histogram(
-        "graphstore.extracted_graph_size_nodes", buckets=GRAPH_SIZE_BUCKETS
-    ).observe(len(order))
+    # Instrument handles are created once per store (no get-or-create
+    # registry lookup per extraction).
+    store._m_bfs_extractions.inc()
+    store._m_bfs_hops.inc(hops)
+    store._m_extract_size.observe(len(order))
     return CausalGraphResult(
         root=root,
         nodes=tuple(order),
@@ -95,7 +105,7 @@ def reachable_set(store: GraphStore, root: MessageUid) -> FrozenSet[MessageUid]:
         if uid in visited:
             continue
         visited.add(uid)
-        queue.extend(store.successors(uid))
+        queue.extend(store.iter_successors(uid))
     return frozenset(visited)
 
 
@@ -117,10 +127,10 @@ def to_dot(store: GraphStore, root: MessageUid, title: str = "causal graph") -> 
     for node in result.nodes:
         shape = ", style=bold" if node.is_response else ""
         lines.append(
-            f'  {ids[node.uid]} [label="{node.msg_type}\n{node.uid}"{shape}];'
+            f'  {ids[node.uid]} [label="{node.msg_type}\\n{node.uid}"{shape}];'
         )
     for node in result.nodes:
-        for succ in sorted(store.successors(node.uid)):
+        for succ in sorted(store.iter_successors(node.uid)):
             if succ in ids:
                 lines.append(f"  {ids[node.uid]} -> {ids[succ]};")
     lines.append("}")
@@ -130,11 +140,11 @@ def to_dot(store: GraphStore, root: MessageUid, title: str = "causal graph") -> 
 def ancestors_of(store: GraphStore, uid: MessageUid) -> FrozenSet[MessageUid]:
     """All message uids causally upstream of ``uid`` (excluding it)."""
     visited: Set[MessageUid] = set()
-    queue: deque = deque(store.predecessors(uid))
+    queue: deque = deque(store.iter_predecessors(uid))
     while queue:
         current = queue.popleft()
         if current in visited:
             continue
         visited.add(current)
-        queue.extend(store.predecessors(current))
+        queue.extend(store.iter_predecessors(current))
     return frozenset(visited)

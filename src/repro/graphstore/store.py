@@ -7,12 +7,33 @@ triggers causal-path construction when a terminal (response) node is
 inserted — "the computation of this causal graph is triggered at the
 graph store when the edge corresponding to [the] last message in the
 causal path … is stored" (Section IV-B).
+
+Hot-path design (the incremental-signature pipeline)
+----------------------------------------------------
+Path completion used to cost a full BFS over the stored graph per
+completed path.  The store now maintains, *as nodes arrive*, a per-root
+accumulator holding
+
+* the canonical ``(src, msg_type, dest)`` edge-triple set of every node
+  **connected to the root** (insertion-ordered dict keys, deduplicated),
+* the member-uid list of those connected nodes (what eviction removes),
+* the root node's message type (the path's request type).
+
+Connectivity mirrors exactly what :func:`~repro.graphstore.query.causal_graph_bfs`
+computes: a node is connected iff it can be reached from the root
+through *present* nodes.  Because effects may arrive before their causes
+(and causes may never arrive at all when sampling drops them), the store
+propagates "reachable-from-root" marks forward whenever a node insertion
+or edge insertion closes a gap — an online, one-pass restatement of the
+BFS that keeps :meth:`completed_signature` and :meth:`evict_graph` O(1)
+in the size of the already-processed graph.  BFS remains available in
+:mod:`repro.graphstore.query` as the query/debug API and as the oracle
+the equivalence tests compare against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import GraphStoreError
 from repro.graphstore.partition import HashPartitioner
@@ -23,25 +44,82 @@ from repro.telemetry import MetricsRegistry, get_registry
 #: Bucket bounds for eviction / extraction size histograms (node counts).
 GRAPH_SIZE_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
 
+#: One hop of a causal path: (source component, message type, destination).
+EdgeTriple = Tuple[str, str, str]
 
-@dataclass(frozen=True)
+
 class GraphNode:
     """A node in the causal graph: ``〈uid_M, info_M〉`` per the paper.
 
     ``info`` carries the message type, source/destination components and
-    (optionally) payload metadata.
+    (optionally) payload metadata.  One node is allocated per observed
+    message, so this is a ``__slots__`` class with ``is_response``
+    precomputed at construction.
     """
 
-    uid: MessageUid
-    msg_type: str
-    src: str
-    dest: str
-    info: Mapping[str, object] = field(default_factory=dict)
+    __slots__ = ("uid", "msg_type", "src", "dest", "info", "is_response")
 
-    @property
-    def is_response(self) -> bool:
-        """Whether this node is a response to the external client."""
-        return self.dest == CLIENT
+    def __init__(
+        self,
+        uid: MessageUid,
+        msg_type: str,
+        src: str,
+        dest: str,
+        info: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.uid = uid
+        self.msg_type = msg_type
+        self.src = src
+        self.dest = dest
+        self.info: Mapping[str, object] = {} if info is None else info
+        #: Whether this node is a response to the external client.
+        self.is_response = dest == CLIENT
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, GraphNode):
+            return NotImplemented
+        return (
+            self.uid == other.uid
+            and self.msg_type == other.msg_type
+            and self.src == other.src
+            and self.dest == other.dest
+            and dict(self.info) == dict(other.info)
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self.uid, self.msg_type, self.src, self.dest))
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphNode(uid={self.uid!r}, msg_type={self.msg_type!r}, "
+            f"src={self.src!r}, dest={self.dest!r}, info={self.info!r})"
+        )
+
+
+class _RootAccumulator:
+    """Incremental per-root causal-path state (see module docstring).
+
+    ``edges`` is an insertion-ordered dict used as a deduplicated set of
+    canonical hop triples; ``members`` the uids of nodes connected to the
+    root (the eviction set); ``root_type`` the root node's message type,
+    ``None`` until the root node itself is stored (a completion without a
+    stored root is discarded, matching the BFS-era ``GraphStoreError``).
+    """
+
+    __slots__ = ("edges", "members", "root_type")
+
+    def __init__(self) -> None:
+        self.edges: Dict[EdgeTriple, None] = {}
+        self.members: List[MessageUid] = []
+        self.root_type: Optional[str] = None
 
 
 class GraphStore:
@@ -70,10 +148,19 @@ class GraphStore:
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self._partitioner = HashPartitioner(num_partitions)
+        self._partition_of = self._partitioner.partition_of
         self._partitions: List[Dict[MessageUid, GraphNode]] = [dict() for _ in range(num_partitions)]
         self._out_edges: Dict[MessageUid, Set[MessageUid]] = {}
         self._in_edges: Dict[MessageUid, Set[MessageUid]] = {}
         self._roots: Dict[MessageUid, MessageUid] = {}
+        # Incremental-signature state: per-root accumulators, the set of
+        # roots each present node is connected to, and the effect uids of
+        # raw add_edge() calls whose node is absent (their presence
+        # forces evict_graph back onto the traversal path, because only
+        # the traversal can follow edges *through* such ghosts).
+        self._accumulators: Dict[MessageUid, _RootAccumulator] = {}
+        self._reach: Dict[MessageUid, Set[MessageUid]] = {}
+        self._dangling_effects: Set[MessageUid] = set()
         self._path_complete_subscribers: List[Callable[[MessageUid], None]] = []
         if on_path_complete is not None:
             self._path_complete_subscribers.append(on_path_complete)
@@ -86,6 +173,14 @@ class GraphStore:
         self._m_evicted_nodes = self.telemetry.counter("graphstore.evicted_nodes")
         self._m_evict_size = self.telemetry.histogram(
             "graphstore.eviction_size_nodes", buckets=GRAPH_SIZE_BUCKETS
+        )
+        self._m_signature_reads = self.telemetry.counter("graphstore.signature_reads")
+        # Cached handles for the BFS query path (query.py), so extraction
+        # never pays a get-or-create registry lookup per call.
+        self._m_bfs_extractions = self.telemetry.counter("graphstore.bfs_extractions")
+        self._m_bfs_hops = self.telemetry.counter("graphstore.bfs_hops")
+        self._m_extract_size = self.telemetry.histogram(
+            "graphstore.extracted_graph_size_nodes", buckets=GRAPH_SIZE_BUCKETS
         )
         self._base_edges = self._m_edges.value
         self._base_cross = self._m_cross.value
@@ -130,20 +225,99 @@ class GraphStore:
 
         Unknown cause uids are tolerated (their node may arrive later or
         may have been dropped by sampling); the edge is recorded either
-        way so BFS remains correct once both endpoints exist.
+        way so BFS remains correct once both endpoints exist.  The
+        per-root signature accumulator is updated in the same pass:
+        arriving nodes connected to their root (directly, or retroactively
+        once a late cause closes a gap) contribute their hop triple and
+        their uid to the root's accumulator.
         """
-        node = GraphNode(
-            uid=message.uid,
-            msg_type=message.msg_type,
-            src=message.src,
-            dest=message.dest,
-            info={"root_uid": message.root_uid},
-        )
-        self._put_node(node)
-        root = message.root_uid if message.root_uid is not None else message.uid
-        self._roots[message.uid] = root
-        for cause in sorted(message.cause_uids):
-            self.add_edge(cause, message.uid)
+        uid = message.uid
+        root_uid = message.root_uid
+        root = uid if root_uid is None else root_uid
+        # Node metadata beyond the message triple lives in side indexes
+        # (``root_of``); no per-node info dict is allocated on this path.
+        node = GraphNode(uid, message.msg_type, message.src, message.dest)
+        uid_partition = self._partition_of(uid)
+        self._partitions[uid_partition][uid] = node
+        self._m_nodes.inc()
+        self._roots[uid] = root
+        if self._dangling_effects:
+            self._dangling_effects.discard(uid)
+        reach = self._reach.get(uid)
+        if reach is None:
+            reach = set()
+            self._reach[uid] = reach
+        accumulators = self._accumulators
+        gained: Optional[Set[MessageUid]] = None
+        # Cheap equality: compare the cached hashes before falling back to
+        # the (Python-level) __eq__ call; roots usually arrive with
+        # root_uid=None so the identity branch dominates.
+        if uid is root or (uid._hash == root._hash and uid == root):
+            acc = accumulators.get(root)
+            if acc is None:
+                accumulators[root] = acc = _RootAccumulator()
+            acc.root_type = message.msg_type
+            gained = {root}
+        preds = self._in_edges.get(uid)
+        if preds:
+            # Out-of-order arrival: effects already recorded edges to this
+            # node before it was stored; inherit their connectivity now.
+            for pred in preds:
+                pred_reach = self._reach.get(pred)
+                if pred_reach:
+                    if gained is None:
+                        gained = set(pred_reach)
+                    else:
+                        gained |= pred_reach
+        if gained:
+            gained -= reach
+            if gained:
+                self._gain_reach(uid, node, gained)
+        causes = message.cause_uids
+        if causes:
+            # Inlined add_edge loop: the effect node (this one) is known
+            # to be present, its partition is already hashed, and the
+            # edge counters are batched per message instead of per edge.
+            out_edges = self._out_edges
+            reach_index = self._reach
+            inn = self._in_edges.get(uid)
+            if inn is None:
+                self._in_edges[uid] = inn = set()
+            # Successors of this node cannot change inside the loop (the
+            # loop only touches the causes' out-edge sets), so the
+            # no-cascade fast path is decided once.
+            uid_succs = out_edges.get(uid)
+            triple = (node.src, node.msg_type, node.dest)
+            cross = 0
+            for cause in causes:
+                if cause._hash == uid._hash and cause == uid:
+                    raise GraphStoreError(f"self-causation edge on {cause}")
+                out = out_edges.get(cause)
+                if out is None:
+                    out_edges[cause] = out = set()
+                out.add(uid)
+                inn.add(cause)
+                if self._partition_of(cause) != uid_partition:
+                    cross += 1
+                cause_reach = reach_index.get(cause)
+                if cause_reach:
+                    new = cause_reach if not reach else cause_reach - reach
+                    if new:
+                        if uid_succs:
+                            self._gain_reach(uid, node, new)
+                        else:
+                            # In-order arrival: no effects yet, nothing to
+                            # cascade — accumulate in place.
+                            reach.update(new)
+                            for r in new:
+                                acc = accumulators.get(r)
+                                if acc is None:
+                                    accumulators[r] = acc = _RootAccumulator()
+                                acc.edges[triple] = None
+                                acc.members.append(uid)
+            self._m_edges.inc(len(causes))
+            if cross:
+                self._m_cross.inc(cross)
         if node.is_response:
             self._notify_path_complete(root)
         return node
@@ -152,24 +326,90 @@ class GraphStore:
         """Record a directed causal edge ``cause → effect``."""
         if cause == effect:
             raise GraphStoreError(f"self-causation edge on {cause}")
-        self._out_edges.setdefault(cause, set()).add(effect)
-        self._in_edges.setdefault(effect, set()).add(cause)
+        out = self._out_edges.get(cause)
+        if out is None:
+            self._out_edges[cause] = out = set()
+        out.add(effect)
+        inn = self._in_edges.get(effect)
+        if inn is None:
+            self._in_edges[effect] = inn = set()
+        inn.add(cause)
         self._m_edges.inc()
-        if self._partitioner.partition_of(cause) != self._partitioner.partition_of(effect):
+        if self._partition_of(cause) != self._partition_of(effect):
             self._m_cross.inc()
+        effect_reach = self._reach.get(effect)
+        if effect_reach is None:
+            # Raw edge to a node that is not (yet) stored; remember it so
+            # eviction keeps its traversal semantics for such ghosts.
+            self._dangling_effects.add(effect)
+            return
+        cause_reach = self._reach.get(cause)
+        if cause_reach:
+            new = cause_reach - effect_reach
+            if new:
+                self._gain_reach(effect, self._node_at(effect), new)
 
-    def _put_node(self, node: GraphNode) -> None:
-        part = self._partitions[self._partitioner.partition_of(node.uid)]
-        part[node.uid] = node
-        self._m_nodes.inc()
+    def _gain_reach(
+        self, uid: MessageUid, node: GraphNode, new_roots: Set[MessageUid]
+    ) -> None:
+        """Mark ``uid`` reachable from ``new_roots`` and cascade forward.
+
+        ``new_roots`` must be disjoint from the node's current reach set.
+        Each (node, root) pair is processed at most once over the life of
+        the graph, so the total accumulation work is O(edges) — the same
+        asymptotics a single BFS pays, amortised over insertions.
+        """
+        if not self._out_edges.get(uid):
+            # In-order arrival (the common case): the node has no effects
+            # yet, so nothing can cascade — skip the worklist machinery.
+            self._reach[uid].update(new_roots)
+            triple = (node.src, node.msg_type, node.dest)
+            accumulators = self._accumulators
+            for root in new_roots:
+                acc = accumulators.get(root)
+                if acc is None:
+                    accumulators[root] = acc = _RootAccumulator()
+                acc.edges[triple] = None
+                acc.members.append(uid)
+            return
+        stack: List[Tuple[MessageUid, GraphNode, Set[MessageUid]]] = [(uid, node, new_roots)]
+        accumulators = self._accumulators
+        reach_index = self._reach
+        out_edges = self._out_edges
+        while stack:
+            uid, node, roots = stack.pop()
+            reach = reach_index[uid]
+            roots = roots - reach
+            if not roots:
+                continue
+            reach.update(roots)
+            triple = (node.src, node.msg_type, node.dest)
+            for root in roots:
+                acc = accumulators.get(root)
+                if acc is None:
+                    accumulators[root] = acc = _RootAccumulator()
+                acc.edges[triple] = None
+                acc.members.append(uid)
+            succs = out_edges.get(uid)
+            if succs:
+                for succ in succs:
+                    succ_reach = reach_index.get(succ)
+                    if succ_reach is None:
+                        continue  # effect node absent (sampled away)
+                    delta = roots - succ_reach
+                    if delta:
+                        stack.append((succ, self._node_at(succ), delta))
+
+    def _node_at(self, uid: MessageUid) -> Optional[GraphNode]:
+        """Internal node fetch that does not count as an index lookup."""
+        return self._partitions[self._partition_of(uid)].get(uid)
 
     # -- reads ------------------------------------------------------------------
 
     def get_node(self, uid: MessageUid) -> Optional[GraphNode]:
         """O(1) hash-index lookup of a node by uid."""
         self._m_lookups.inc()
-        part = self._partitions[self._partitioner.partition_of(uid)]
-        return part.get(uid)
+        return self._partitions[self._partition_of(uid)].get(uid)
 
     def require_node(self, uid: MessageUid) -> GraphNode:
         node = self.get_node(uid)
@@ -178,12 +418,28 @@ class GraphStore:
         return node
 
     def successors(self, uid: MessageUid) -> Set[MessageUid]:
-        """Effects directly caused by ``uid``."""
+        """Effects directly caused by ``uid`` (defensive copy)."""
         return set(self._out_edges.get(uid, ()))
 
     def predecessors(self, uid: MessageUid) -> Set[MessageUid]:
-        """Direct causes of ``uid``."""
+        """Direct causes of ``uid`` (defensive copy)."""
         return set(self._in_edges.get(uid, ()))
+
+    def iter_successors(self, uid: MessageUid) -> Iterator[MessageUid]:
+        """Copy-free iteration over the effects of ``uid``.
+
+        Do not mutate the store while iterating; use :meth:`successors`
+        when a stable snapshot is needed.
+        """
+        return iter(self._out_edges.get(uid, ()))
+
+    def iter_predecessors(self, uid: MessageUid) -> Iterator[MessageUid]:
+        """Copy-free iteration over the direct causes of ``uid``.
+
+        Do not mutate the store while iterating; use :meth:`predecessors`
+        when a stable snapshot is needed.
+        """
+        return iter(self._in_edges.get(uid, ()))
 
     def node_count(self) -> int:
         return sum(len(p) for p in self._partitions)
@@ -196,15 +452,61 @@ class GraphStore:
         for part in self._partitions:
             yield from part.keys()
 
+    # -- incremental signatures ---------------------------------------------------
+
+    def completed_signature(
+        self, root: MessageUid
+    ) -> Optional[Tuple[str, Tuple[EdgeTriple, ...]]]:
+        """``(request_type, edge_triples)`` accumulated for ``root``.
+
+        Returns ``None`` when the root node itself was never stored
+        (sampled away, or already evicted) — the same condition under
+        which BFS extraction raises and the tracker discards the
+        completion.  The triples are the hops of every node connected to
+        the root, deduplicated, in first-connection order; callers
+        needing the canonical (sorted) form sort the handful of
+        component-level hops themselves.
+        """
+        acc = self._accumulators.get(root)
+        if acc is None or acc.root_type is None:
+            return None
+        self._m_signature_reads.inc()
+        return acc.root_type, tuple(acc.edges)
+
+    def graph_members(self, root: MessageUid) -> Tuple[MessageUid, ...]:
+        """Uids currently accumulated as connected to ``root``.
+
+        Exposed for tests and debugging; eviction consumes the same list.
+        """
+        acc = self._accumulators.get(root)
+        if acc is None:
+            return ()
+        return tuple(acc.members)
+
     # -- maintenance ---------------------------------------------------------------
 
     def evict_graph(self, root: MessageUid) -> int:
         """Remove the nodes/edges of a completed causal graph to bound memory.
 
         Returns the number of nodes removed.  The simulation calls this
-        after the profiler has consumed a completed path.
+        after the profiler has consumed a completed path.  When ``root``
+        has an accumulator (the hot path), the member list is dropped
+        directly — no re-traversal; otherwise (root never stored, or raw
+        dangling edges present) the legacy reachability sweep runs.
         """
-        removed = 0
+        acc = self._accumulators.get(root)
+        if acc is None or acc.root_type is None or self._dangling_effects:
+            removed = self._evict_by_traversal(root)
+        else:
+            del self._accumulators[root]
+            removed = self._remove_all(acc.members)
+        self._m_evictions.inc()
+        self._m_evicted_nodes.inc(removed)
+        self._m_evict_size.observe(removed)
+        return removed
+
+    def _evict_by_traversal(self, root: MessageUid) -> int:
+        """Reachability sweep (the pre-incremental eviction semantics)."""
         frontier = [root]
         seen: Set[MessageUid] = set()
         while frontier:
@@ -213,17 +515,38 @@ class GraphStore:
                 continue
             seen.add(uid)
             frontier.extend(self._out_edges.get(uid, ()))
-        for uid in seen:
-            part = self._partitions[self._partitioner.partition_of(uid)]
-            if uid in part:
-                del part[uid]
-                removed += 1
-            for succ in self._out_edges.pop(uid, set()):
-                self._in_edges.get(succ, set()).discard(uid)
-            for pred in self._in_edges.pop(uid, set()):
-                self._out_edges.get(pred, set()).discard(uid)
-            self._roots.pop(uid, None)
-        self._m_evictions.inc()
-        self._m_evicted_nodes.inc(removed)
-        self._m_evict_size.observe(removed)
+        return self._remove_all(seen)
+
+    def _remove_all(self, uids: Iterable[MessageUid]) -> int:
+        removed = 0
+        partitions = self._partitions
+        partition_of = self._partition_of
+        out_edges = self._out_edges
+        in_edges = self._in_edges
+        roots = self._roots
+        reach_index = self._reach
+        accumulators = self._accumulators
+        for uid in uids:
+            part = partitions[partition_of(uid)]
+            if part.pop(uid, None) is None:
+                continue  # never stored, or already swept by an overlapping graph
+            removed += 1
+            succs = out_edges.pop(uid, None)
+            if succs:
+                for succ in succs:
+                    in_set = in_edges.get(succ)
+                    if in_set is not None:
+                        in_set.discard(uid)
+            preds = in_edges.pop(uid, None)
+            if preds:
+                for pred in preds:
+                    out_set = out_edges.get(pred)
+                    if out_set is not None:
+                        out_set.discard(uid)
+            del roots[uid]
+            del reach_index[uid]
+            # The uid may itself be the root of an accumulator (bridged
+            # graphs); dropping it keeps completed_signature honest.
+            if accumulators:
+                accumulators.pop(uid, None)
         return removed

@@ -24,7 +24,7 @@ Execution modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import InterpreterError
@@ -63,27 +63,45 @@ def _cap_taint(taint: Taint, limit: int) -> Taint:
     """
     if len(taint) <= limit:
         return taint
-    return frozenset(sorted(taint)[-limit:])
+    # nlargest avoids sorting the whole (potentially large) set just to
+    # keep its tail.
+    return frozenset(heapq.nlargest(limit, taint))
 
 
-@dataclass
 class ReplicaState:
     """Mutable per-replica component state plus its provenance table.
 
     ``provenance`` maps state-variable name → uids of messages that
     contributed to the variable's current value.  Only variables the
     interpreter persists (``V_tr`` under DCA instrumentation) appear here.
+
+    One instance exists per simulated replica and both tables are read on
+    every variable access, hence ``__slots__``.
     """
 
-    values: Dict[str, object]
-    provenance: Dict[str, Taint] = field(default_factory=dict)
+    __slots__ = ("values", "provenance")
+
+    def __init__(
+        self,
+        values: Dict[str, object],
+        provenance: Optional[Dict[str, Taint]] = None,
+    ) -> None:
+        self.values = values
+        self.provenance: Dict[str, Taint] = {} if provenance is None else provenance
 
     @classmethod
     def from_component(cls, component: Component) -> "ReplicaState":
         return cls(values=dict(component.state))
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReplicaState):
+            return NotImplemented
+        return self.values == other.values and self.provenance == other.provenance
 
-@dataclass
+    def __repr__(self) -> str:
+        return f"ReplicaState(values={self.values!r}, provenance={self.provenance!r})"
+
+
 class HandlerOutcome:
     """Result of executing one handler invocation.
 
@@ -104,16 +122,33 @@ class HandlerOutcome:
         Dynamic statement count (basis for the uninstrumented CPU cost).
     """
 
-    emitted: List[Message]
-    tracked_writes: int = 0
-    total_writes: int = 0
-    getinfo_ops: int = 0
-    statements_executed: int = 0
+    __slots__ = ("emitted", "tracked_writes", "total_writes", "getinfo_ops", "statements_executed")
+
+    def __init__(
+        self,
+        emitted: List[Message],
+        tracked_writes: int = 0,
+        total_writes: int = 0,
+        getinfo_ops: int = 0,
+        statements_executed: int = 0,
+    ) -> None:
+        self.emitted = emitted
+        self.tracked_writes = tracked_writes
+        self.total_writes = total_writes
+        self.getinfo_ops = getinfo_ops
+        self.statements_executed = statements_executed
 
     @property
     def instrumentation_ops(self) -> int:
         """Total instrumentation operations (store + getInfo)."""
         return self.tracked_writes + self.getinfo_ops
+
+    def __repr__(self) -> str:
+        return (
+            f"HandlerOutcome(emitted={self.emitted!r}, tracked_writes={self.tracked_writes!r}, "
+            f"total_writes={self.total_writes!r}, getinfo_ops={self.getinfo_ops!r}, "
+            f"statements_executed={self.statements_executed!r})"
+        )
 
 
 class Interpreter:
@@ -190,6 +225,25 @@ class Interpreter:
 class _InvocationContext:
     """One handler invocation: locals, control-taint stack, emission buffer."""
 
+    __slots__ = (
+        "interp",
+        "state",
+        "message",
+        "handler",
+        "uid_factory",
+        "provenance_on",
+        "locals",
+        "local_taint",
+        "state_taint_overlay",
+        "control_stack",
+        "emitted",
+        "tracked_writes",
+        "total_writes",
+        "getinfo_ops",
+        "statements_executed",
+        "message_taint",
+    )
+
     def __init__(
         self,
         interpreter: Interpreter,
@@ -244,16 +298,24 @@ class _InvocationContext:
             raise InterpreterError(f"unknown statement type {type(stmt).__name__}")
 
     def _control_taint(self) -> Taint:
-        if not self.control_stack:
+        stack = self.control_stack
+        if not stack:
             return EMPTY_TAINT
+        if len(stack) == 1:
+            return stack[0]
         out: Set[MessageUid] = set()
-        for t in self.control_stack:
+        for t in stack:
             out |= t
         return frozenset(out)
 
     def _run_assign(self, stmt: Assign) -> None:
         value, taint = self.eval_expr(stmt.expr)
-        taint = taint | self._control_taint() if self.provenance_on else EMPTY_TAINT
+        if self.provenance_on:
+            control = self._control_taint()
+            if control:
+                taint = taint | control
+        else:
+            taint = EMPTY_TAINT
         self.total_writes += 1
         target = stmt.target
         if target in self.state.values:
@@ -311,7 +373,9 @@ class _InvocationContext:
             # getInfo: the messages that directly caused this emission are
             # the data influences on the payload plus the dynamic control
             # influences on reaching this send, plus the triggering message.
-            taints |= self._control_taint()
+            control = self._control_taint()
+            if control:
+                taints |= control
             taints |= self.message_taint
             causes = _cap_taint(frozenset(taints), self.interp.max_provenance)
             self.getinfo_ops += 1

@@ -69,6 +69,9 @@ class CausalPathProfiler:
         self._base_dynamic = self._m_dynamic.value
         self._paths: Dict[str, PathSignature] = {}
         self._by_identity: Dict[Tuple[str, Tuple], str] = {}
+        # Cached per-path completion counters, so record() never pays a
+        # get-or-create registry lookup (label sorting + key render).
+        self._m_completions: Dict[str, object] = {}
         for req_type, signatures in sorted(static_paths.items()):
             for sig in signatures:
                 self._register(sig)
@@ -127,7 +130,11 @@ class CausalPathProfiler:
         buckets[bucket] = buckets.get(bucket, 0) + count
         self._prune(buckets, time_minutes)
         self._m_recordings.inc(count)
-        self.telemetry.counter("profiler.path_completions", labels={"path": pid}).inc(count)
+        completions = self._m_completions.get(pid)
+        if completions is None:
+            completions = self.telemetry.counter("profiler.path_completions", labels={"path": pid})
+            self._m_completions[pid] = completions
+        completions.inc(count)
         return pid
 
     def _prune(self, buckets: "OrderedDict[int, int]", now: float) -> None:

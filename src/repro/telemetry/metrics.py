@@ -71,12 +71,16 @@ class Metric:
         if not name:
             raise TelemetryError("metric name must be non-empty")
         self.name = name
-        self.labels: Dict[str, str] = dict(_label_key(labels))
+        label_key = _label_key(labels)
+        self.labels: Dict[str, str] = dict(label_key)
+        # Labels are frozen after construction, so the rendered key is
+        # computed once rather than on every registry/snapshot access.
+        self._key = _render_key(name, label_key)
 
     @property
     def key(self) -> str:
         """Stable registry key: ``name`` or ``name{k=v,…}`` (sorted labels)."""
-        return _render_key(self.name, _label_key(self.labels))
+        return self._key
 
     def to_dict(self) -> Dict[str, object]:
         raise NotImplementedError

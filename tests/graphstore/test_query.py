@@ -105,6 +105,24 @@ class TestDotExport:
         store, root, others = _diamond_store()
         assert "style=bold" in to_dot(store, root.uid)
 
+    def test_dot_label_uses_newline_escape(self):
+        """Node labels must embed the two-character ``\\n`` DOT escape, not
+        a raw newline (which would split the label across source lines and
+        malform the output)."""
+        from repro.graphstore.query import to_dot
+
+        store, root, others = _diamond_store()
+        dot = to_dot(store, root.uid)
+        node_lines = [
+            line for line in dot.splitlines() if line.strip().startswith("n") and "label=" in line
+        ]
+        assert len(node_lines) == 5
+        for line in node_lines:
+            assert "\\n" in line
+            # A raw newline inside the f-string would tear the statement
+            # across source lines; each must be complete.
+            assert line.rstrip().endswith("];")
+
     def test_dot_missing_root_raises(self):
         from repro.errors import GraphStoreError
         from repro.graphstore.query import to_dot

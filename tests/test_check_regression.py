@@ -1,0 +1,83 @@
+"""Tests for the CI benchmark regression gate's baseline workflow.
+
+``benchmarks/check_regression.py`` is a script, not a package module, so
+it is loaded from its file path.  These tests exercise the
+``--update-baseline`` flow (baselines are regenerated reproducibly, not
+hand-edited) and the gate verdicts against a freshly written baseline.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def _results_json(tmp_path, means):
+    payload = {
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}} for name, mean in means.items()
+        ]
+    }
+    path = tmp_path / "results.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def test_update_baseline_writes_schema_calibration_and_means(tmp_path):
+    results = _results_json(tmp_path, {"bench_a::test_x": 0.002, "bench_b::test_y": 0.004})
+    baseline = tmp_path / "baseline.json"
+    rc = check_regression.main(
+        ["--results", str(results), "--baseline", str(baseline), "--update-baseline"]
+    )
+    assert rc == 0
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert payload["schema"] == check_regression.BASELINE_SCHEMA
+    assert payload["calibration_seconds"] > 0
+    assert payload["benchmarks"] == {"bench_a::test_x": 0.002, "bench_b::test_y": 0.004}
+
+
+def test_gate_passes_against_freshly_updated_baseline(tmp_path):
+    means = {"bench_a::test_x": 0.002}
+    results = _results_json(tmp_path, means)
+    baseline = tmp_path / "baseline.json"
+    assert (
+        check_regression.main(
+            ["--results", str(results), "--baseline", str(baseline), "--update-baseline"]
+        )
+        == 0
+    )
+    rc = check_regression.main(
+        ["--results", str(results), "--baseline", str(baseline), "--no-calibration"]
+    )
+    assert rc == 0
+
+
+def test_gate_fails_on_synthetic_slowdown(tmp_path):
+    means = {"bench_a::test_x": 0.002}
+    results = _results_json(tmp_path, means)
+    baseline = tmp_path / "baseline.json"
+    check_regression.main(
+        ["--results", str(results), "--baseline", str(baseline), "--update-baseline"]
+    )
+    rc = check_regression.main(
+        [
+            "--results",
+            str(results),
+            "--baseline",
+            str(baseline),
+            "--no-calibration",
+            "--synthetic-slowdown",
+            "0.5",
+        ]
+    )
+    assert rc == 1
+
+
+def test_gate_covers_tracker_throughput_suite():
+    assert "benchmarks/bench_micro_tracker.py" in check_regression.BENCH_FILES
