@@ -7,6 +7,7 @@ Commands:
 * ``overhead <scenario>``  — Fig. 5 overhead measurement at one or more rates
 * ``simulate <scenario>``  — run one elasticity manager over the Fig. 7 workload
 * ``metrics <scenario>``   — run a short simulation and print the telemetry snapshot
+* ``faults <fault>``       — run a seeded fault scenario and print fault/recovery counters
 * ``table <scenario…>``    — the Fig. 8 agility + RQ5 SLA tables for all managers
 * ``report <scenario…>``   — write the full markdown report to a file
 
@@ -24,6 +25,7 @@ from repro.core.dca import analyze_application
 from repro.core.paths import enumerate_causal_paths
 from repro.errors import ReproError
 from repro.evalx.experiment import MANAGER_NAMES, ExperimentConfig, run_all_managers, run_manager
+from repro.faults import FAULT_SCENARIOS, build_fault_plan
 from repro.evalx.overhead import fig5_measurements
 from repro.evalx.reporting import fig5_table, fig8_table, format_table, sla_table
 
@@ -66,6 +68,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--seed", type=int, default=7)
     p_metrics.add_argument(
         "--indent", type=int, default=2, help="JSON indent (0 for compact output)"
+    )
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="run a seeded fault scenario against a short simulation and "
+        "print the fault + recovery telemetry",
+    )
+    p_faults.add_argument(
+        "fault",
+        nargs="?",
+        choices=sorted(FAULT_SCENARIOS),
+        help="fault scenario to inject (omit with --list to enumerate)",
+    )
+    p_faults.add_argument(
+        "--list", action="store_true", help="list fault scenarios and exit"
+    )
+    p_faults.add_argument("--app", choices=sorted(SCENARIOS), default="hedwig")
+    p_faults.add_argument("--manager", choices=MANAGER_NAMES, default="DCA-10%")
+    p_faults.add_argument("--duration", type=int, default=40, help="run minutes")
+    p_faults.add_argument("--seed", type=int, default=7)
+    p_faults.add_argument(
+        "--path-timeout", type=float, default=5.0,
+        help="minutes before a partial causal path is abandoned",
+    )
+    p_faults.add_argument(
+        "--json", action="store_true",
+        help="print the full telemetry snapshot instead of the summary",
     )
 
     p_table = sub.add_parser("table", help="Fig. 8 agility + RQ5 SLA tables")
@@ -149,6 +178,73 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+#: Telemetry keys the ``faults`` summary prints, in story order: what was
+#: injected, then what each recovery mechanism did about it.
+_FAULT_SUMMARY_KEYS = (
+    "faults.messages_dropped",
+    "faults.messages_duplicated",
+    "faults.messages_delayed",
+    "faults.edges_lost",
+    "faults.store_write_failures",
+    "faults.profiler_flush_lost",
+    "faults.node_crashes",
+    "tracker.store_write_retries",
+    "tracker.dead_letters",
+    "tracker.delayed_messages_delivered",
+    "tracker.paths_abandoned",
+    "tracker.abandoned_nodes",
+    "tracker.profiler_records_lost",
+    "graphstore.dangling_edges_repaired",
+    "elasticity.stale_intervals",
+    "elasticity.fallback_engagements",
+    "elasticity.fallback_recoveries",
+)
+
+
+def _cmd_faults(args) -> int:
+    from repro.core.elasticity import DCAManagerConfig, StalenessPolicy
+    from repro.evalx.experiment import DCA_RATES, build_simulator
+    from repro.telemetry import MetricsRegistry
+
+    if args.list or args.fault is None:
+        for name in sorted(FAULT_SCENARIOS):
+            print(f"{name:16s} {FAULT_SCENARIOS[name].description}")
+        return 0 if args.list else 2
+    scenario = load_scenario(args.app)
+    plan = build_fault_plan(args.fault, seed=args.seed)
+    config = ExperimentConfig(duration_minutes=args.duration, seed=args.seed)
+    registry = MetricsRegistry()
+    manager_config = None
+    rate = DCA_RATES.get(args.manager)
+    if rate is not None:
+        manager_config = DCAManagerConfig(sampling_rate=rate, staleness=StalenessPolicy())
+    simulator = build_simulator(
+        scenario,
+        args.manager,
+        config,
+        registry=registry,
+        fault_plan=plan,
+        path_timeout_minutes=args.path_timeout,
+        manager_config=manager_config,
+    )
+    result = simulator.run()
+    if args.json:
+        print(registry.to_json(indent=2))
+        return 0
+    print(
+        f"{args.fault} ({FAULT_SCENARIOS[args.fault].description})\n"
+        f"  {args.manager} over {args.duration} minutes of {args.app}, seed {args.seed}:"
+    )
+    print(f"  agility            : {result.agility():.2f}")
+    print(f"  SLA violations     : {result.sla_violation_percent():.2f}%")
+    print(f"  nodes crashed      : {simulator.nodes_failed_total}")
+    for key in _FAULT_SUMMARY_KEYS:
+        metric = registry.get(key)
+        if metric is not None:
+            print(f"  {key:40s}: {metric.value:.0f}")
+    return 0
+
+
 def _cmd_table(args) -> int:
     results_by_app = {}
     for name in args.scenarios:
@@ -202,6 +298,7 @@ _COMMANDS = {
     "overhead": _cmd_overhead,
     "simulate": _cmd_simulate,
     "metrics": _cmd_metrics,
+    "faults": _cmd_faults,
     "table": _cmd_table,
     "report": _cmd_report,
 }

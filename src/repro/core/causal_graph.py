@@ -14,17 +14,42 @@ corresponding to [the] last message … is stored") but *processed* at
 :meth:`DirectCausalityTracker.flush` time, so that a response arriving
 before a sibling branch of the same request does not yield a truncated
 path.  :meth:`observe_all` flushes automatically.
+
+Failure semantics
+-----------------
+The tracker is the component that faces the unreliable substrate, so the
+recovery mechanisms live here:
+
+* **Retry + dead-letter** — a graph-store write that raises
+  :class:`~repro.errors.TransientStoreError` is retried up to
+  ``max_write_retries`` times with exponential (simulated) backoff;
+  exhausted messages are *dead-lettered*: counted and dropped, never
+  allowed to crash the pipeline.
+* **Path-abandonment timeout** — a root whose causal path has not
+  completed within ``path_timeout_minutes`` is abandoned: its partial
+  graph is reclaimed from the store and counted, instead of pinning
+  store memory (and the pending machinery) forever when a response
+  message is lost.
+* **Delayed delivery** — messages the fault injector holds back are
+  queued and delivered when :meth:`advance_to` passes their due time.
+* **Dangling-edge repair** — the maintenance pass asks the store to
+  detach raw edges whose effect node never arrived, restoring the O(1)
+  eviction path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.paths import signature_from_edges
+from repro.errors import TransientStoreError
+from repro.faults.injector import FaultInjector
 from repro.graphstore.store import GraphStore
 from repro.lang.message import Message, MessageUid
 from repro.profiling.profiler import CausalPathProfiler
 from repro.telemetry import MetricsRegistry
+
+_NO_CAUSES = frozenset()
 
 
 class DirectCausalityTracker:
@@ -42,6 +67,19 @@ class DirectCausalityTracker:
     registry:
         Telemetry registry; defaults to the store's, so one simulation's
         components share a single snapshot surface.
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector` rolled per
+        message for the drop/duplicate/delay/edge-loss channels (the
+        store consults the same injector for write failures).
+    path_timeout_minutes:
+        When set, roots first seen more than this many minutes ago that
+        have not completed are abandoned during :meth:`advance_to`.
+    max_write_retries:
+        Transient store-write failures retried per message before the
+        message is dead-lettered.
+    retry_backoff_ms:
+        Base of the exponential backoff schedule (doubles per retry);
+        simulated time, accumulated in ``tracker.retry_backoff_ms``.
     """
 
     def __init__(
@@ -50,22 +88,53 @@ class DirectCausalityTracker:
         store: Optional[GraphStore] = None,
         evict_completed: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        path_timeout_minutes: Optional[float] = None,
+        max_write_retries: int = 3,
+        retry_backoff_ms: float = 5.0,
     ) -> None:
         self.profiler = profiler
         self.store = store if store is not None else GraphStore(registry=registry)
         self.evict_completed = evict_completed
+        self.fault_injector = fault_injector
+        self.path_timeout_minutes = (
+            float(path_timeout_minutes) if path_timeout_minutes is not None else None
+        )
+        self.max_write_retries = int(max_write_retries)
+        self.retry_backoff_ms = float(retry_backoff_ms)
         self.telemetry = registry if registry is not None else self.store.telemetry
         self._m_observed = self.telemetry.counter("tracker.messages_observed")
         self._m_sampled_away = self.telemetry.counter("tracker.messages_sampled_away")
         self._m_completed = self.telemetry.counter("tracker.paths_completed")
         self._m_discarded = self.telemetry.counter("tracker.completions_discarded")
         self._m_pending = self.telemetry.gauge("tracker.pending_completion_depth")
+        self._m_retries = self.telemetry.counter("tracker.store_write_retries")
+        self._m_backoff_ms = self.telemetry.counter("tracker.retry_backoff_ms")
+        self._m_dead_letters = self.telemetry.counter("tracker.dead_letters")
+        self._m_abandoned = self.telemetry.counter("tracker.paths_abandoned")
+        self._m_abandoned_nodes = self.telemetry.counter("tracker.abandoned_nodes")
+        self._m_delivered_late = self.telemetry.counter("tracker.delayed_messages_delivered")
+        self._m_records_lost = self.telemetry.counter("tracker.profiler_records_lost")
         self._flush_timer = self.telemetry.timer("tracker.flush_seconds")
         self._base_completed = self._m_completed.value
         # Insertion-ordered dict used as a set: completions are processed
         # in arrival order, which is deterministic without sorting.
         self._pending_completion: Dict[MessageUid, None] = {}
+        # Root uid -> minute first observed (insertion order is time
+        # order because the simulation clock is monotonic); only
+        # maintained when a path timeout is configured.
+        self._root_first_seen: Dict[MessageUid, float] = {}
+        # (due_minute, message) queue of fault-delayed messages.
+        self._delayed: List[Tuple[float, Message]] = []
         self._now_minutes = 0.0
+        # Per-message fault rolls only when a message channel can fire;
+        # the plain fast path additionally requires no injector at all
+        # (an attached injector can fail store writes, which need the
+        # retry wrapper) and no timeout bookkeeping.
+        self._message_faults = (
+            fault_injector is not None and fault_injector.plan.any_message_faults
+        )
+        self._plain_path = fault_injector is None and self.path_timeout_minutes is None
         # Completion is edge-triggered by response-node insertion.
         self.store.subscribe_path_complete(self._mark_complete)
 
@@ -75,8 +144,21 @@ class DirectCausalityTracker:
         return int(self._m_completed.value - self._base_completed)
 
     def advance_to(self, time_minutes: float) -> None:
-        """Set the profiler timestamp used for subsequent completions."""
+        """Advance the tracker clock and run the maintenance pass.
+
+        Maintenance delivers fault-delayed messages that are now due,
+        abandons roots older than the path timeout, and repairs raw
+        dangling edges in the store.  All three are no-ops in a
+        fault-free, timeout-free configuration.
+        """
         self._now_minutes = float(time_minutes)
+        if self._plain_path:
+            return
+        if self._delayed:
+            self._deliver_due()
+        if self.path_timeout_minutes is not None:
+            self._abandon_expired()
+        self.store.repair_dangling_edges()
 
     def observe_message(self, message: Message) -> None:
         """Record one sampled message (node + causal edges) in the store.
@@ -88,7 +170,10 @@ class DirectCausalityTracker:
             self._m_sampled_away.inc()
             return
         self._m_observed.inc()
-        self.store.add_message(message)
+        if self._plain_path:
+            self.store.add_message(message)
+        else:
+            self._admit(message)
 
     def observe_all(self, messages: Iterable[Message]) -> None:
         """Record a batch of messages, then process completed paths.
@@ -97,18 +182,114 @@ class DirectCausalityTracker:
         """
         observed = 0
         sampled_away = 0
-        add_message = self.store.add_message
-        for message in messages:
-            if message.sampled:
-                observed += 1
-                add_message(message)
-            else:
-                sampled_away += 1
+        if self._plain_path:
+            add_message = self.store.add_message
+            for message in messages:
+                if message.sampled:
+                    observed += 1
+                    add_message(message)
+                else:
+                    sampled_away += 1
+        else:
+            for message in messages:
+                if message.sampled:
+                    observed += 1
+                    self._admit(message)
+                else:
+                    sampled_away += 1
         if observed:
             self._m_observed.inc(observed)
         if sampled_away:
             self._m_sampled_away.inc(sampled_away)
         self.flush()
+
+    # -- faulted admission --------------------------------------------------------
+
+    def _admit(self, message: Message) -> None:
+        """Roll the message fault channels, then store (with retry)."""
+        copies = 1
+        if self._message_faults:
+            injector = self.fault_injector
+            if injector.should_drop_message():
+                return
+            if message.cause_uids and injector.should_lose_edges():
+                # Partial trace: the provenance batch for this message was
+                # lost, the message itself still arrives.
+                message = message.with_causes(_NO_CAUSES)
+            delay = injector.message_delay()
+            if delay is not None:
+                self._delayed.append((self._now_minutes + delay, message))
+                return
+            if injector.should_duplicate_message():
+                copies = 2
+        for _ in range(copies):
+            if not self._store_with_retry(message):
+                return
+        if self.path_timeout_minutes is not None:
+            root = message.root_uid
+            if root is None:
+                root = message.uid
+            if root not in self._root_first_seen:
+                self._root_first_seen[root] = self._now_minutes
+
+    def _store_with_retry(self, message: Message) -> bool:
+        """Write with bounded retry; dead-letter on exhaustion.
+
+        Returns whether the message made it into the store.  Backoff is
+        simulated (counted, not slept): the monitoring host must keep
+        draining its queue during a store brownout.
+        """
+        for attempt in range(self.max_write_retries + 1):
+            try:
+                self.store.add_message(message)
+                return True
+            except TransientStoreError:
+                if attempt == self.max_write_retries:
+                    break
+                self._m_retries.inc()
+                self._m_backoff_ms.inc(self.retry_backoff_ms * (2 ** attempt))
+        self._m_dead_letters.inc()
+        return False
+
+    def _deliver_due(self) -> None:
+        """Deliver fault-delayed messages whose due time has passed.
+
+        A delayed message is delivered exactly once — the fault channels
+        are not re-rolled, so a finite delay can never become an
+        infinite one.
+        """
+        now = self._now_minutes
+        due = [m for eta, m in self._delayed if eta <= now]
+        if not due:
+            return
+        self._delayed = [(eta, m) for eta, m in self._delayed if eta > now]
+        for message in due:
+            if self._store_with_retry(message) and self.path_timeout_minutes is not None:
+                root = message.root_uid
+                if root is None:
+                    root = message.uid
+                if root not in self._root_first_seen:
+                    self._root_first_seen[root] = now
+        self._m_delivered_late.inc(len(due))
+        self.flush()
+
+    def _abandon_expired(self) -> None:
+        """Abandon roots whose path has been open longer than the timeout."""
+        horizon = self._now_minutes - self.path_timeout_minutes
+        expired: List[MessageUid] = []
+        for root, first_seen in self._root_first_seen.items():
+            if first_seen <= horizon:
+                expired.append(root)
+            else:
+                break  # insertion order is time order
+        for root in expired:
+            del self._root_first_seen[root]
+            if root in self._pending_completion:
+                # Completed, just not flushed yet — not abandoned.
+                continue
+            removed = self.store.abandon_root(root)
+            self._m_abandoned.inc()
+            self._m_abandoned_nodes.inc(removed)
 
     # -- completion --------------------------------------------------------------
 
@@ -128,14 +309,23 @@ class DirectCausalityTracker:
         return closed
 
     def _finalize(self, root: MessageUid) -> bool:
+        if self._root_first_seen:
+            self._root_first_seen.pop(root, None)
         completed = self.store.completed_signature(root)
         if completed is None:
             # Root sampled away (e.g. tracing began mid-path); ignore.
             self._m_discarded.inc()
             return False
         request_type, edges = completed
-        signature = signature_from_edges(request_type, edges)
-        self.profiler.record(signature, self._now_minutes)
+        injector = self.fault_injector
+        if injector is not None and injector.should_lose_profiler_flush():
+            # The path closed but its count never reached the profiler —
+            # the causal profile silently under-counts (what the
+            # staleness detector must survive).
+            self._m_records_lost.inc()
+        else:
+            signature = signature_from_edges(request_type, edges)
+            self.profiler.record(signature, self._now_minutes)
         self._m_completed.inc()
         if self.evict_completed:
             self.store.evict_graph(root)

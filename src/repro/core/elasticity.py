@@ -49,6 +49,7 @@ from repro.core.regression import LinearCapacityModel, MachineSpec
 from repro.errors import ElasticityError
 from repro.lang.ir import CLIENT, Application
 from repro.profiling.profiler import CausalPathProfiler
+from repro.telemetry import MetricsRegistry
 
 
 def detect_serialization_suspects(app: Application, in_out_ratio: float = 3.0) -> Set[str]:
@@ -70,6 +71,93 @@ def detect_serialization_suspects(app: Application, in_out_ratio: float = 3.0) -
     return suspects
 
 
+@dataclass(frozen=True)
+class StalenessPolicy:
+    """When to distrust the causal profile and fall back to reactive sizing.
+
+    The causal profile degrades silently: dropped messages, dead-lettered
+    store writes, or lost profiler flushes simply make the recent window
+    *sparse*, and the weights computed from it swing wildly.  The policy
+    defines "too sparse / too old" and adds hysteresis (engage after
+    ``stale_after_intervals`` bad intervals, re-engage the causal model
+    only after ``fresh_after_intervals`` good ones) so the manager does
+    not flap between models at the edge of an outage.
+    """
+
+    min_recent_samples: int = 40
+    recent_horizon_minutes: float = 5.0
+    max_record_age_minutes: Optional[float] = None
+    stale_after_intervals: int = 2
+    fresh_after_intervals: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_recent_samples < 1:
+            raise ElasticityError(
+                f"min_recent_samples must be >= 1, got {self.min_recent_samples}"
+            )
+        if self.recent_horizon_minutes <= 0:
+            raise ElasticityError("recent_horizon_minutes must be positive")
+        if self.max_record_age_minutes is not None and self.max_record_age_minutes <= 0:
+            raise ElasticityError("max_record_age_minutes must be positive")
+        if self.stale_after_intervals < 1 or self.fresh_after_intervals < 1:
+            raise ElasticityError("hysteresis interval counts must be >= 1")
+
+
+class ProfileStalenessDetector:
+    """Hysteretic health check over the profiler's recent sample flow.
+
+    :meth:`update` is called once per monitoring interval and returns
+    whether the regression/utilisation fallback is currently engaged.
+    State transitions and per-interval health are all counted, so a
+    fault scenario can assert the fallback engaged within a bounded
+    number of intervals of the outage and released after recovery.
+    """
+
+    def __init__(
+        self,
+        profiler: CausalPathProfiler,
+        policy: StalenessPolicy,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.profiler = profiler
+        self.policy = policy
+        self.telemetry = registry if registry is not None else profiler.telemetry
+        self.engaged = False
+        self._stale_streak = 0
+        self._fresh_streak = 0
+        self._m_stale = self.telemetry.counter("elasticity.stale_intervals")
+        self._m_engagements = self.telemetry.counter("elasticity.fallback_engagements")
+        self._m_recoveries = self.telemetry.counter("elasticity.fallback_recoveries")
+        self._m_active = self.telemetry.gauge("elasticity.fallback_active")
+        self._m_active.set(0.0)
+
+    def update(self, now_minutes: float) -> bool:
+        policy = self.policy
+        recent = self.profiler.counts_between(
+            now_minutes - policy.recent_horizon_minutes, now_minutes
+        )
+        sparse = sum(recent.values()) < policy.min_recent_samples
+        too_old = False
+        if policy.max_record_age_minutes is not None:
+            last = self.profiler.last_record_minutes
+            too_old = last is None or now_minutes - last > policy.max_record_age_minutes
+        if sparse or too_old:
+            self._m_stale.inc()
+            self._stale_streak += 1
+            self._fresh_streak = 0
+            if not self.engaged and self._stale_streak >= policy.stale_after_intervals:
+                self.engaged = True
+                self._m_engagements.inc()
+        else:
+            self._fresh_streak += 1
+            self._stale_streak = 0
+            if self.engaged and self._fresh_streak >= policy.fresh_after_intervals:
+                self.engaged = False
+                self._m_recoveries.inc()
+        self._m_active.set(1.0 if self.engaged else 0.0)
+        return self.engaged
+
+
 @dataclass
 class DCAManagerConfig:
     """Tunables of the DCA elasticity manager."""
@@ -87,6 +175,11 @@ class DCAManagerConfig:
     infra_msgs_per_node_per_min: float = 2_500.0
     serial_node_cap: int = 5
     min_mix_samples: int = 70
+    #: When set, the manager runs a :class:`ProfileStalenessDetector` and
+    #: ignores causal weights (pure regression/utilisation sizing) while
+    #: the fallback is engaged.  ``None`` (the default) preserves the
+    #: paper's baseline behaviour: the causal model is always trusted.
+    staleness: Optional[StalenessPolicy] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.sampling_rate <= 1.0:
@@ -123,6 +216,11 @@ class DCAElasticityManager(ElasticityManager):
         self._below_count: Dict[str, int] = {}
         self._kappa: Dict[str, float] = {}
         self._prev_arrivals: Optional[float] = None
+        self.staleness_detector = (
+            ProfileStalenessDetector(profiler, self.config.staleness)
+            if self.config.staleness is not None
+            else None
+        )
 
     # -- decision ---------------------------------------------------------------
 
@@ -143,7 +241,17 @@ class DCAElasticityManager(ElasticityManager):
         """
         cfg = self.config
         now = observation.time_minutes
-        weights = self._current_weights(now, observation)
+        if self.staleness_detector is not None and self.staleness_detector.update(now):
+            # Profile too sparse/old to trust (e.g. a monitoring outage):
+            # run pure regression/utilisation sizing.  Empty weights send
+            # every component down the hold-current-allocation branch, let
+            # the utilisation bands steer, and make the LR capacity floor
+            # apportion its deficit uniformly; κ learning freezes so the
+            # causal model resumes from its pre-outage calibration once
+            # the detector releases.
+            weights: Dict[str, float] = {}
+        else:
+            weights = self._current_weights(now, observation)
         arrivals = observation.external_arrivals_per_min
         forecast = self._forecast_arrivals(arrivals)
         self._learn_kappa(observation, weights)

@@ -4,9 +4,22 @@ DCA-100% tracks every external request; DCA-5/10/20% randomly sample.
 Sampling must be "uniformly random across the workload", which the paper
 achieves by examining the front-end tier: "for x% sampling with k
 front-end servers, we randomly chose x/k% of user-requests at each
-server" — i.e. the x% tracing budget is split evenly across the k
-replicated front ends, so each server contributes the same share and no
-front-end partition is over-represented.
+server".
+
+Reconciling that sentence with this implementation: the paper's "x/k%"
+reads as each of the k front ends sampling at rate x/k, but that would
+make the *global* traced fraction x/k (each server sees ~1/k of the
+traffic and contributes (1/k)·(x/k) of it), not x.  What makes the
+global rate come out at x — and what "each server contributes the same
+share" requires — is every front end sampling at rate x over its own
+slice of the traffic.  :class:`RequestSampler` therefore applies ``rate``
+(= x) at every front end, with an independent deterministic RNG per
+server; the division by k describes how the *budget* splits across
+servers (each contributes x·s_i of the traced traffic for its traffic
+share s_i), not the per-server Bernoulli probability.  An earlier
+``per_server_budget`` property exposed the literal x/k quotient; it was
+unused outside its own test and contradicted the behaviour above, so it
+was removed.
 
 The sampling decision is made once, when the external request arrives,
 and is inherited by every message on its causal path (a partially traced
@@ -48,11 +61,6 @@ class RequestSampler:
         ]
         self.decisions = 0
         self.sampled = 0
-
-    @property
-    def per_server_budget(self) -> float:
-        """Each server's share of the global tracing budget (x/k)."""
-        return self.rate / self.num_front_ends
 
     def should_sample(self, front_end_index: int = 0) -> bool:
         """Decide whether the next request at this front end is traced."""

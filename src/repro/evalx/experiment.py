@@ -26,6 +26,8 @@ from repro.core.elasticity import (
     detect_serialization_suspects,
 )
 from repro.errors import EvaluationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.sim.engine import ClusterSimulator, DCABundle, SimulationConfig
 from repro.sim.metrics import SimulationResult
 from repro.telemetry import MetricsRegistry
@@ -93,28 +95,39 @@ def build_simulator(
     manager_name: str,
     config: Optional[ExperimentConfig] = None,
     registry: Optional[MetricsRegistry] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    path_timeout_minutes: Optional[float] = None,
+    manager_config: Optional[DCAManagerConfig] = None,
 ) -> ClusterSimulator:
     """Construct a fully wired simulator for one manager over one scenario.
 
     ``registry`` threads a single telemetry surface through every layer
     of the run (graph store, tracker, profiler, manager, engine); the
-    process-default registry is used when omitted.
+    process-default registry is used when omitted.  A ``fault_plan``
+    injects seeded faults into the run: for DCA managers the injector is
+    shared across the tracker/store/engine; baseline managers only see
+    its scheduled node crashes (they have no DCA pipeline to disturb).
+    ``manager_config`` overrides the DCA manager tunables — e.g. to
+    enable the staleness fallback — and is ignored for the baselines.
     """
     cfg = config or ExperimentConfig()
     generator = _make_generator(scenario, cfg.seed)
     machine = scenario.machine
 
+    baseline_faults = (
+        FaultInjector(fault_plan, registry=registry) if fault_plan is not None else None
+    )
     if manager_name == "CloudWatch":
         manager: ElasticityManager = CloudWatchManager()
         return ClusterSimulator(
             scenario.app, generator, dict(scenario.deployments), machine, manager,
-            config=cfg.sim, telemetry=registry,
+            config=cfg.sim, telemetry=registry, faults=baseline_faults,
         )
     if manager_name == "ElasticRMI":
         manager = ElasticRMIManager()
         return ClusterSimulator(
             scenario.app, generator, dict(scenario.deployments), machine, manager,
-            config=cfg.sim, telemetry=registry,
+            config=cfg.sim, telemetry=registry, faults=baseline_faults,
         )
     if manager_name == "HTrace+CW":
         collector = HTraceCollector(seed=cfg.seed)
@@ -128,6 +141,7 @@ def build_simulator(
             config=cfg.sim,
             htrace=collector,
             telemetry=registry,
+            faults=baseline_faults,
         )
     rate = DCA_RATES.get(manager_name)
     if rate is None:
@@ -139,11 +153,21 @@ def build_simulator(
         num_front_ends=scenario.num_front_ends,
         seed=cfg.seed,
         registry=registry,
+        fault_plan=fault_plan,
+        path_timeout_minutes=path_timeout_minutes,
     )
+    if manager_config is not None:
+        dca_config = manager_config
+        if dca_config.sampling_rate != rate:
+            dca_config = DCAManagerConfig(
+                **{**dca_config.__dict__, "sampling_rate": rate}
+            )
+    else:
+        dca_config = DCAManagerConfig(sampling_rate=rate)
     manager = DCAElasticityManager(
         profiler=bundle.profiler,
         machine=machine,
-        config=DCAManagerConfig(sampling_rate=rate),
+        config=dca_config,
         serialization_suspects=detect_serialization_suspects(scenario.app),
         avg_messages_per_request=_avg_messages_per_request(scenario),
     )

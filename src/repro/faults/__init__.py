@@ -1,0 +1,36 @@
+"""Deterministic fault injection for the DCA pipeline.
+
+The paper's elasticity mechanisms assume a well-behaved substrate:
+messages arrive once, graph-store writes succeed, the profiler sees
+every completed path.  Real deployments violate all three — components
+are replicated *because* nodes fail (Section II-A), and RQ4 shows the
+causal profile must degrade gracefully when samples go missing.  This
+package makes that half of the story testable:
+
+* :class:`~repro.faults.plan.FaultPlan` — a declarative, seeded
+  description of what misbehaves and when (message drop/duplication/
+  delay, tracker edge loss, graph-store write failures, profiler-flush
+  loss, scheduled node crashes);
+* :class:`~repro.faults.injector.FaultInjector` — the runtime object the
+  hook points consult; every decision comes from per-channel seeded RNGs
+  so a scenario replays identically under the same seed;
+* :mod:`~repro.faults.scenarios` — named, scripted scenarios the CLI
+  (``repro faults``), the robustness benchmark, and the tests share.
+
+The recovery mechanisms the faults exercise live with the components
+they protect: retry-with-backoff and dead-lettering in the tracker,
+path-abandonment timeouts in the tracker, dangling-edge repair in the
+graph store, and the profile-staleness fallback in the DCA manager.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, NodeCrash
+from repro.faults.scenarios import FAULT_SCENARIOS, build_fault_plan
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "NodeCrash",
+    "FAULT_SCENARIOS",
+    "build_fault_plan",
+]

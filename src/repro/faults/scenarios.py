@@ -1,0 +1,141 @@
+"""Named, scripted fault scenarios.
+
+These are the shared vocabulary of the robustness story: the ``repro
+faults`` CLI runs them, the fault-matrix benchmark sweeps them, and the
+recovery tests assert on their telemetry.  Each scenario is a factory
+``seed -> FaultPlan`` so runs stay deterministic per seed while the
+*shape* of the fault (rates, windows, crash schedule) stays fixed.
+
+Windows are sized for short (~40–60 minute) runs: faults switch on after
+the pipeline has warmed up and switch off with enough run left to watch
+the recovery mechanisms re-converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import FaultPlan, NodeCrash
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named fault shape with a human-readable description."""
+
+    name: str
+    description: str
+    factory: Callable[[int], FaultPlan]
+
+    def plan(self, seed: int = 0) -> FaultPlan:
+        return self.factory(seed)
+
+
+def _store_brownout(seed: int) -> FaultPlan:
+    # Heavy but transient write failures: retries absorb most of it,
+    # the rest dead-letters; the tracker must never crash.
+    return FaultPlan(
+        seed=seed,
+        store_write_failure_rate=0.35,
+        start_minute=10.0,
+        end_minute=25.0,
+    )
+
+
+def _lossy_network(seed: int) -> FaultPlan:
+    # Dropped/duplicated/delayed messages and partial traces: paths stop
+    # completing, partial graphs must be abandoned by timeout and raw
+    # dangling edges repaired, not accumulated.
+    return FaultPlan(
+        seed=seed,
+        message_drop_rate=0.25,
+        message_duplicate_rate=0.05,
+        message_delay_rate=0.10,
+        message_delay_minutes=2.0,
+        edge_loss_rate=0.15,
+        start_minute=10.0,
+        end_minute=25.0,
+    )
+
+
+def _profile_outage(seed: int) -> FaultPlan:
+    # Total loss of sampled traffic for a stretch: the profiler's recent
+    # window empties, the DCA manager must fall back to the
+    # regression/utilisation model and re-engage once paths flow again.
+    return FaultPlan(
+        seed=seed,
+        message_drop_rate=1.0,
+        start_minute=12.0,
+        end_minute=28.0,
+    )
+
+
+def _node_churn(seed: int) -> FaultPlan:
+    # Deterministic crash schedule on top of the pipeline: capacity is
+    # lost instantly and only monitoring signals reveal it.
+    return FaultPlan(
+        seed=seed,
+        node_crashes=(
+            NodeCrash(minute=8.0, component="*", count=2),
+            NodeCrash(minute=15.0, component="*", count=1),
+            NodeCrash(minute=22.0, component="*", count=2),
+        ),
+    )
+
+
+def _chaos(seed: int) -> FaultPlan:
+    # Everything at once, at moderate rates: the integration smoke test.
+    return FaultPlan(
+        seed=seed,
+        message_drop_rate=0.10,
+        message_duplicate_rate=0.05,
+        message_delay_rate=0.05,
+        edge_loss_rate=0.05,
+        store_write_failure_rate=0.15,
+        profiler_flush_loss_rate=0.10,
+        start_minute=8.0,
+        end_minute=30.0,
+    )
+
+
+FAULT_SCENARIOS: Mapping[str, FaultScenario] = {
+    s.name: s
+    for s in (
+        FaultScenario(
+            "store-brownout",
+            "transient graph-store write failures (retry + dead-letter path)",
+            _store_brownout,
+        ),
+        FaultScenario(
+            "lossy-network",
+            "message drop/duplication/delay + partial traces (abandonment + repair)",
+            _lossy_network,
+        ),
+        FaultScenario(
+            "profile-outage",
+            "total sampled-traffic loss (staleness fallback + re-engagement)",
+            _profile_outage,
+        ),
+        FaultScenario(
+            "node-churn",
+            "scheduled node crashes (capacity loss visible only via monitoring)",
+            _node_churn,
+        ),
+        FaultScenario(
+            "chaos",
+            "all fault channels at moderate rates",
+            _chaos,
+        ),
+    )
+}
+
+
+def build_fault_plan(name: str, seed: int = 0) -> FaultPlan:
+    """Look up a named scenario and instantiate its plan for ``seed``."""
+    scenario = FAULT_SCENARIOS.get(name)
+    if scenario is None:
+        raise FaultPlanError(
+            f"unknown fault scenario {name!r}; choose from {sorted(FAULT_SCENARIOS)}"
+        )
+    return scenario.plan(seed)

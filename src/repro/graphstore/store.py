@@ -33,13 +33,16 @@ the equivalence tests compare against.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
-from repro.errors import GraphStoreError
+from repro.errors import GraphStoreError, TransientStoreError
 from repro.graphstore.partition import HashPartitioner
 from repro.lang.ir import CLIENT
 from repro.lang.message import Message, MessageUid
 from repro.telemetry import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 
 #: Bucket bounds for eviction / extraction size histograms (node counts).
 GRAPH_SIZE_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
@@ -139,6 +142,12 @@ class GraphStore:
         when omitted).  Legacy per-instance tallies (``edge_count``,
         ``index_lookups``, ``cross_partition_edges``) are exposed as
         baseline-delta properties over the shared counters.
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`.  When its
+        write-failure channel fires, :meth:`add_message` raises
+        :class:`~repro.errors.TransientStoreError` *before* mutating any
+        state, modelling a lost write to the (remote) store — callers
+        retry or dead-letter.
     """
 
     def __init__(
@@ -146,6 +155,7 @@ class GraphStore:
         num_partitions: int = 4,
         on_path_complete: Optional[Callable[[MessageUid], None]] = None,
         registry: Optional[MetricsRegistry] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self._partitioner = HashPartitioner(num_partitions)
         self._partition_of = self._partitioner.partition_of
@@ -164,6 +174,7 @@ class GraphStore:
         self._path_complete_subscribers: List[Callable[[MessageUid], None]] = []
         if on_path_complete is not None:
             self._path_complete_subscribers.append(on_path_complete)
+        self.fault_injector = fault_injector
         self.telemetry = registry if registry is not None else get_registry()
         self._m_nodes = self.telemetry.counter("graphstore.nodes_added")
         self._m_edges = self.telemetry.counter("graphstore.edges_added")
@@ -175,6 +186,7 @@ class GraphStore:
             "graphstore.eviction_size_nodes", buckets=GRAPH_SIZE_BUCKETS
         )
         self._m_signature_reads = self.telemetry.counter("graphstore.signature_reads")
+        self._m_dangling_repaired = self.telemetry.counter("graphstore.dangling_edges_repaired")
         # Cached handles for the BFS query path (query.py), so extraction
         # never pays a get-or-create registry lookup per call.
         self._m_bfs_extractions = self.telemetry.counter("graphstore.bfs_extractions")
@@ -230,7 +242,13 @@ class GraphStore:
         arriving nodes connected to their root (directly, or retroactively
         once a late cause closes a gap) contribute their hop triple and
         their uid to the root's accumulator.
+
+        Raises :class:`~repro.errors.TransientStoreError` (with no state
+        mutated) when the attached fault injector fails this write.
         """
+        injector = self.fault_injector
+        if injector is not None and injector.should_fail_store_write():
+            raise TransientStoreError(f"injected write failure for {message.uid}")
         uid = message.uid
         root_uid = message.root_uid
         root = uid if root_uid is None else root_uid
@@ -505,6 +523,26 @@ class GraphStore:
         self._m_evict_size.observe(removed)
         return removed
 
+    def abandon_root(self, root: MessageUid) -> int:
+        """Remove every node recorded against ``root``, completed or not.
+
+        Eviction (:meth:`evict_graph`) follows edges, so it cannot clean
+        up after a *lost* root: when the external-request message is
+        dropped, its descendants are stored with ``root`` in the side
+        index but nothing connects them.  The tracker's path-abandonment
+        timeout calls this to reclaim such partial graphs.  O(stored
+        nodes) per call — acceptable on the (rare) abandonment path, and
+        the store stays small because completed graphs are evicted
+        continuously.  Returns the number of nodes removed.
+        """
+        self._accumulators.pop(root, None)
+        members = [uid for uid, r in self._roots.items() if r == root]
+        removed = self._remove_all(members)
+        self._m_evictions.inc()
+        self._m_evicted_nodes.inc(removed)
+        self._m_evict_size.observe(removed)
+        return removed
+
     def _evict_by_traversal(self, root: MessageUid) -> int:
         """Reachability sweep (the pre-incremental eviction semantics)."""
         frontier = [root]
@@ -517,12 +555,51 @@ class GraphStore:
             frontier.extend(self._out_edges.get(uid, ()))
         return self._remove_all(seen)
 
+    def _unlink_edges(self, uid: MessageUid) -> None:
+        """Drop every in/out edge touching ``uid`` from both indexes."""
+        succs = self._out_edges.pop(uid, None)
+        if succs:
+            for succ in succs:
+                in_set = self._in_edges.get(succ)
+                if in_set is not None:
+                    in_set.discard(uid)
+        preds = self._in_edges.pop(uid, None)
+        if preds:
+            for pred in preds:
+                out_set = self._out_edges.get(pred)
+                if out_set is not None:
+                    out_set.discard(uid)
+
+    def repair_dangling_edges(self) -> int:
+        """Detach raw edges whose effect node was never stored.
+
+        ``add_edge`` tolerates edges to absent nodes because the node may
+        still arrive; under message loss it never does, and each such
+        ghost pins :meth:`evict_graph` on the traversal fallback forever.
+        This sweep — the tracker runs it from its maintenance pass —
+        unlinks the ghosts' edges (the same unlink core eviction uses)
+        and restores the O(1) eviction path.  Returns the number of ghost
+        uids repaired.
+        """
+        if not self._dangling_effects:
+            return 0
+        repaired = 0
+        for ghost in sorted(self._dangling_effects):
+            if self._node_at(ghost) is not None:
+                # The node arrived after all (defensive: add_message
+                # already clears it from the dangling set).
+                continue
+            self._unlink_edges(ghost)
+            repaired += 1
+        self._dangling_effects.clear()
+        if repaired:
+            self._m_dangling_repaired.inc(repaired)
+        return repaired
+
     def _remove_all(self, uids: Iterable[MessageUid]) -> int:
         removed = 0
         partitions = self._partitions
         partition_of = self._partition_of
-        out_edges = self._out_edges
-        in_edges = self._in_edges
         roots = self._roots
         reach_index = self._reach
         accumulators = self._accumulators
@@ -531,18 +608,7 @@ class GraphStore:
             if part.pop(uid, None) is None:
                 continue  # never stored, or already swept by an overlapping graph
             removed += 1
-            succs = out_edges.pop(uid, None)
-            if succs:
-                for succ in succs:
-                    in_set = in_edges.get(succ)
-                    if in_set is not None:
-                        in_set.discard(uid)
-            preds = in_edges.pop(uid, None)
-            if preds:
-                for pred in preds:
-                    out_set = out_edges.get(pred)
-                    if out_set is not None:
-                        out_set.discard(uid)
+            self._unlink_edges(uid)
             del roots[uid]
             del reach_index[uid]
             # The uid may itself be the root of an accumulator (bridged

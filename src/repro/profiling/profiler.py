@@ -77,6 +77,11 @@ class CausalPathProfiler:
                 self._register(sig)
         # path_id -> OrderedDict[minute_bucket -> count]
         self._buckets: Dict[str, "OrderedDict[int, int]"] = {pid: OrderedDict() for pid in self._paths}
+        #: Minute of the most recent :meth:`record` call (``None`` until
+        #: the first).  Staleness detectors use this to distinguish "no
+        #: recent samples because traffic is low" from "the sampled-path
+        #: feed has gone quiet" without scanning buckets.
+        self.last_record_minutes: Optional[float] = None
 
     @property
     def unmatched_observations(self) -> int:
@@ -125,6 +130,8 @@ class CausalPathProfiler:
             self._buckets[pid] = OrderedDict()
             self._m_dynamic.inc()
             self._m_unmatched.inc()
+        if self.last_record_minutes is None or time_minutes > self.last_record_minutes:
+            self.last_record_minutes = float(time_minutes)
         bucket = int(time_minutes)
         buckets = self._buckets[pid]
         buckets[bucket] = buckets.get(bucket, 0) + count

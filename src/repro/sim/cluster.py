@@ -173,6 +173,17 @@ class Cluster:
                 self.deprovision_delay_minutes,
             )
 
+    def fail_component(self, component: str, count: int) -> int:
+        """Crash up to ``count`` ready nodes of ``component``.
+
+        ``component`` may be ``"*"`` to crash ``count`` nodes of *every*
+        group (the app-agnostic form fault scenarios use).  Returns the
+        number of nodes that actually failed.
+        """
+        if component == "*":
+            return sum(group.fail_nodes(count) for group in self.groups.values())
+        return self.group(component).fail_nodes(count)
+
     def total_provisioned(self) -> int:
         return sum(group.provisioned for group in self.groups.values())
 

@@ -39,6 +39,8 @@ from repro.core.paths import enumerate_causal_paths
 from repro.core.regression import MachineSpec
 from repro.core.sampling import RequestSampler
 from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.graphstore.store import GraphStore
 from repro.lang.ir import Application
 from repro.profiling.profiler import CausalPathProfiler
@@ -49,6 +51,13 @@ from repro.sim.runtime import ApplicationRuntime, RequestTrace
 from repro.telemetry import MetricsRegistry, get_registry
 from repro.tracing.htrace import HTraceCollector
 from repro.workloads.generator import WorkloadGenerator
+
+#: Length of one simulation step.  The engine ticks in whole minutes
+#: (``run`` iterates ``float(tick)``), and every per-minute rate in
+#: :class:`SimulationConfig` is converted to a per-interval probability
+#: through this constant — change the tick length and the conversion in
+#: :meth:`ClusterSimulator._inject_failures` stays correct.
+INTERVAL_MINUTES = 1.0
 
 
 @dataclass
@@ -75,6 +84,9 @@ class SimulationConfig:
                 f"req_min_utilization must be in (0, 1], got {self.req_min_utilization}"
             )
         if not 0.0 <= self.node_failure_rate_per_min < 1.0:
+            # The rate is *per minute*; the engine derives the per-interval
+            # probability from INTERVAL_MINUTES (p = 1 - (1 - rate)^len),
+            # so the two coincide only while intervals are one minute long.
             raise SimulationError(
                 f"node_failure_rate_per_min must be in [0, 1), got {self.node_failure_rate_per_min}"
             )
@@ -90,6 +102,7 @@ class DCABundle:
     sampler: RequestSampler
     tracker: DirectCausalityTracker
     profiler: CausalPathProfiler
+    fault_injector: Optional[FaultInjector] = None
 
     @classmethod
     def create(
@@ -101,11 +114,17 @@ class DCABundle:
         num_front_ends: int = 4,
         seed: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        path_timeout_minutes: Optional[float] = None,
     ) -> "DCABundle":
         """Analyse, instrument, and wire the full DCA pipeline for ``app``.
 
         ``registry`` threads one telemetry surface through the store,
-        tracker, and profiler (the process default when omitted).
+        tracker, and profiler (the process default when omitted).  When a
+        ``fault_plan`` is supplied, one injector is shared by the tracker
+        (message channels), the store (write failures), and the engine
+        (scheduled node crashes), so a single seed fixes every fault
+        decision of the run.
         """
         dca_result = analyze_application(app)
         runtime = ApplicationRuntime(
@@ -118,8 +137,15 @@ class DCABundle:
         profiler = CausalPathProfiler(
             static_paths, window_minutes=window_minutes, registry=registry
         )
+        injector = None
+        if fault_plan is not None:
+            injector = FaultInjector(fault_plan, registry=profiler.telemetry)
         tracker = DirectCausalityTracker(
-            profiler, store=GraphStore(registry=registry), registry=registry
+            profiler,
+            store=GraphStore(registry=registry, fault_injector=injector),
+            registry=registry,
+            fault_injector=injector,
+            path_timeout_minutes=path_timeout_minutes,
         )
         sampler = RequestSampler(sampling_rate, num_front_ends=num_front_ends, seed=seed)
         return cls(
@@ -129,6 +155,7 @@ class DCABundle:
             sampler=sampler,
             tracker=tracker,
             profiler=profiler,
+            fault_injector=injector,
         )
 
 
@@ -146,6 +173,7 @@ class ClusterSimulator:
         dca: Optional[DCABundle] = None,
         htrace: Optional[HTraceCollector] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.app = app
         self.generator = generator
@@ -154,6 +182,14 @@ class ClusterSimulator:
         self.config = config or SimulationConfig()
         self.dca = dca
         self.htrace = htrace
+        # The engine owns the injector clock and the crash schedule; the
+        # tracker/store side shares the same injector via the DCA bundle.
+        if faults is not None:
+            self.faults = faults
+        elif dca is not None:
+            self.faults = dca.fault_injector
+        else:
+            self.faults = None
         if telemetry is not None:
             self.telemetry = telemetry
         elif dca is not None:
@@ -232,6 +268,10 @@ class ClusterSimulator:
 
     def _step(self, now: float) -> Tuple[IntervalRecord, ClusterObservation]:
         self.cluster.advance(now)
+        if self.faults is not None:
+            self.faults.advance_to(now)
+            for comp, count in sorted(self.faults.node_crashes_due(now).items()):
+                self.nodes_failed_total += self.cluster.fail_component(comp, count)
         self._inject_failures()
         arrivals = self.generator.arrivals(now)
         total_arrivals = float(sum(arrivals.values()))
@@ -281,14 +321,22 @@ class ClusterSimulator:
         failure injection exercises the managers' ability to re-provision
         lost capacity, which they can only observe through utilisation
         and latency.
+
+        The configured rate is per *minute* but the roll happens once per
+        *interval*, so the per-roll probability is derived as the chance
+        of at least one failure within the interval,
+        ``p = 1 - (1 - rate) ** INTERVAL_MINUTES`` — identical to the raw
+        rate at the current one-minute tick, and still correct if
+        ``INTERVAL_MINUTES`` ever changes.
         """
         rate = self.config.node_failure_rate_per_min
         if rate <= 0:
             return
+        p = 1.0 - (1.0 - rate) ** INTERVAL_MINUTES
         for comp in sorted(self.cluster.groups):
             group = self.cluster.groups[comp]
             failures = sum(
-                1 for _ in range(group.ready) if self._failure_rng.random() < rate
+                1 for _ in range(group.ready) if self._failure_rng.random() < p
             )
             if failures:
                 self.nodes_failed_total += group.fail_nodes(failures)
@@ -333,7 +381,21 @@ class ClusterSimulator:
             if remainder > 0 and last_trace is not None:
                 # The remaining sampled requests of this class follow the
                 # same causal path; count them without re-executing.
-                self.dca.profiler.record(last_trace.signature, now, count=remainder)
+                injector = self.dca.fault_injector
+                if injector is not None:
+                    # The shortcut must not hide faults from the profiler
+                    # feed: each shortcut request rolls the drop channel
+                    # once (a mesoscale stand-in for "any message of the
+                    # path was lost") and the flush-loss channel once for
+                    # its completed path.
+                    remainder = sum(
+                        1
+                        for _ in range(remainder)
+                        if not injector.should_drop_message()
+                        and not injector.should_lose_profiler_flush()
+                    )
+                if remainder > 0:
+                    self.dca.profiler.record(last_trace.signature, now, count=remainder)
         return sampled
 
     # -- demand & service ----------------------------------------------------------------

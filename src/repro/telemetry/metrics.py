@@ -201,20 +201,28 @@ class Histogram(Metric):
     def percentile(self, q: float) -> float:
         """Estimate the ``q``-quantile (``q`` in [0, 1]) from bucket counts.
 
-        Returns the upper bound of the bucket holding the quantile (the
-        observed max for the overflow bucket), 0.0 when empty.
+        Returns the upper bound of the bucket holding the quantile,
+        clamped to the observed ``[min, max]`` range — so ``q=0`` is the
+        observed minimum (not the first bucket's bound, which may lie
+        below every sample) and no estimate ever exceeds the observed
+        maximum (a bucket bound is only an upper limit on its samples).
+        Returns 0.0 when empty.
         """
         if not 0.0 <= q <= 1.0:
             raise TelemetryError(f"quantile must be in [0, 1], got {q}")
         if self._count == 0:
             return 0.0
+        if q == 0.0:
+            # rank 0 would otherwise be satisfied by the first bucket
+            # even when that bucket is empty.
+            return self._min
         rank = q * self._count
         cumulative = 0
         for i, bound in enumerate(self.bounds):
             cumulative += self._bucket_counts[i]
             if cumulative >= rank:
-                return bound
-        return self._max if self._max is not None else self.bounds[-1]
+                return min(max(bound, self._min), self._max)
+        return self._max
 
     def to_dict(self) -> Dict[str, object]:
         buckets = {str(b): c for b, c in zip(self.bounds, self._bucket_counts)}

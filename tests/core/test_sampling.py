@@ -53,9 +53,20 @@ class TestDecisions:
         hits = sum(s.should_sample() for _ in range(20_000))
         assert 0.18 < hits / 20_000 < 0.22
 
-    def test_per_server_budget(self):
-        s = RequestSampler(0.10, num_front_ends=4)
-        assert s.per_server_budget == pytest.approx(0.025)
+    def test_per_server_rate_is_global_rate(self):
+        # Each front end samples its own traffic slice at the *global*
+        # rate (see the module docstring's reconciliation of the paper's
+        # "x/k%" phrasing); the removed per_server_budget property
+        # suggested a rate of x/k per server, which would have produced
+        # a global traced fraction of x/k instead of x.
+        s = RequestSampler(0.10, num_front_ends=4, seed=7)
+        assert not hasattr(s, "per_server_budget")
+        per_server_hits = []
+        for fe in range(4):
+            fresh = RequestSampler(0.10, num_front_ends=4, seed=7)
+            per_server_hits.append(sum(fresh.should_sample(fe) for _ in range(20_000)))
+        for hits in per_server_hits:
+            assert 0.08 < hits / 20_000 < 0.12
 
 
 class TestSampleCount:

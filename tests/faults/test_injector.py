@@ -1,0 +1,105 @@
+"""Unit tests for the seeded fault injector."""
+
+from repro.faults import FaultInjector, FaultPlan, NodeCrash
+from repro.telemetry import MetricsRegistry
+
+
+def _drop_decisions(injector, n=200):
+    return [injector.should_drop_message() for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_plan_same_decisions(self):
+        plan = FaultPlan(seed=4, message_drop_rate=0.3)
+        a = FaultInjector(plan, registry=MetricsRegistry())
+        b = FaultInjector(plan, registry=MetricsRegistry())
+        assert _drop_decisions(a) == _drop_decisions(b)
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(FaultPlan(seed=1, message_drop_rate=0.5), registry=MetricsRegistry())
+        b = FaultInjector(FaultPlan(seed=2, message_drop_rate=0.5), registry=MetricsRegistry())
+        assert _drop_decisions(a) != _drop_decisions(b)
+
+    def test_channels_are_independent(self):
+        # Enabling the duplicate channel must not perturb the drop stream.
+        base = FaultInjector(
+            FaultPlan(seed=4, message_drop_rate=0.3), registry=MetricsRegistry()
+        )
+        mixed = FaultInjector(
+            FaultPlan(seed=4, message_drop_rate=0.3, message_duplicate_rate=0.5),
+            registry=MetricsRegistry(),
+        )
+        decisions = []
+        for _ in range(200):
+            decisions.append(mixed.should_drop_message())
+            mixed.should_duplicate_message()
+        assert decisions == _drop_decisions(base)
+
+
+class TestActiveWindow:
+    def test_nothing_fires_outside_window(self):
+        plan = FaultPlan(
+            seed=0,
+            message_drop_rate=1.0,
+            store_write_failure_rate=1.0,
+            start_minute=10.0,
+            end_minute=20.0,
+        )
+        inj = FaultInjector(plan, registry=MetricsRegistry())
+        inj.advance_to(5.0)
+        assert not inj.should_drop_message()
+        assert not inj.should_fail_store_write()
+        inj.advance_to(10.0)
+        assert inj.should_drop_message()
+        assert inj.should_fail_store_write()
+        inj.advance_to(20.0)
+        assert not inj.should_drop_message()
+
+    def test_disabled_channel_never_fires(self):
+        inj = FaultInjector(FaultPlan(seed=0), registry=MetricsRegistry())
+        assert not any(_drop_decisions(inj))
+        assert inj.message_delay() is None
+
+
+class TestTelemetry:
+    def test_fired_faults_are_counted(self):
+        reg = MetricsRegistry()
+        inj = FaultInjector(FaultPlan(seed=0, message_drop_rate=1.0), registry=reg)
+        for _ in range(7):
+            inj.should_drop_message()
+        assert reg.get("faults.messages_dropped").value == 7
+
+    def test_delay_returns_plan_minutes(self):
+        inj = FaultInjector(
+            FaultPlan(seed=0, message_delay_rate=1.0, message_delay_minutes=2.5),
+            registry=MetricsRegistry(),
+        )
+        assert inj.message_delay() == 2.5
+
+
+class TestCrashSchedule:
+    def test_schedule_consumed_monotonically(self):
+        plan = FaultPlan(
+            node_crashes=(
+                NodeCrash(minute=5.0, component="a", count=2),
+                NodeCrash(minute=5.0, component="b", count=1),
+                NodeCrash(minute=9.0, component="a", count=1),
+            )
+        )
+        reg = MetricsRegistry()
+        inj = FaultInjector(plan, registry=reg)
+        assert inj.node_crashes_due(4.0) == {}
+        assert inj.node_crashes_due(5.0) == {"a": 2, "b": 1}
+        assert inj.node_crashes_due(5.0) == {}  # each crash fires once
+        assert inj.node_crashes_due(30.0) == {"a": 1}
+        assert reg.get("faults.node_crashes").value == 4
+
+    def test_schedule_ignores_active_window(self):
+        plan = FaultPlan(
+            start_minute=100.0,
+            end_minute=200.0,
+            node_crashes=(NodeCrash(minute=5.0, component="a"),),
+        )
+        inj = FaultInjector(plan, registry=MetricsRegistry())
+        inj.advance_to(5.0)
+        assert inj.node_crashes_due(5.0) == {"a": 1}

@@ -1,0 +1,95 @@
+"""Unit tests for fault plans and the scenario registry."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import FAULT_SCENARIOS, FaultPlan, NodeCrash, build_fault_plan
+
+
+class TestFaultPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(message_drop_rate=-0.1)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(store_write_failure_rate=1.5)
+
+    def test_delay_must_be_positive(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(message_delay_minutes=0.0)
+
+    def test_window_must_be_ordered(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(start_minute=10.0, end_minute=10.0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(start_minute=-1.0)
+
+    def test_defaults_are_fault_free_and_always_active(self):
+        plan = FaultPlan()
+        assert not plan.any_message_faults
+        assert plan.active_at(0.0)
+        assert plan.active_at(1e9)
+        assert plan.end_minute == math.inf
+
+    def test_active_window_is_half_open(self):
+        plan = FaultPlan(start_minute=10.0, end_minute=20.0)
+        assert not plan.active_at(9.99)
+        assert plan.active_at(10.0)
+        assert plan.active_at(19.99)
+        assert not plan.active_at(20.0)
+
+    def test_any_message_faults_ignores_store_and_profiler_channels(self):
+        assert not FaultPlan(store_write_failure_rate=0.5).any_message_faults
+        assert not FaultPlan(profiler_flush_loss_rate=0.5).any_message_faults
+        assert FaultPlan(message_drop_rate=0.01).any_message_faults
+        assert FaultPlan(edge_loss_rate=0.01).any_message_faults
+
+    def test_crash_schedule_sorted_by_time(self):
+        plan = FaultPlan(
+            node_crashes=(
+                NodeCrash(minute=20.0, component="b"),
+                NodeCrash(minute=5.0, component="a"),
+                NodeCrash(minute=20.0, component="a"),
+            )
+        )
+        assert [(c.minute, c.component) for c in plan.node_crashes] == [
+            (5.0, "a"),
+            (20.0, "a"),
+            (20.0, "b"),
+        ]
+
+
+class TestNodeCrashValidation:
+    def test_bounds(self):
+        with pytest.raises(FaultPlanError):
+            NodeCrash(minute=-1.0, component="x")
+        with pytest.raises(FaultPlanError):
+            NodeCrash(minute=0.0, component="")
+        with pytest.raises(FaultPlanError):
+            NodeCrash(minute=0.0, component="x", count=0)
+
+    def test_wildcard_component_allowed(self):
+        assert NodeCrash(minute=1.0, component="*", count=2).component == "*"
+
+
+class TestScenarios:
+    def test_registry_covers_every_recovery_mechanism(self):
+        assert {
+            "store-brownout",
+            "lossy-network",
+            "profile-outage",
+            "node-churn",
+            "chaos",
+        } <= set(FAULT_SCENARIOS)
+
+    def test_build_fault_plan_threads_seed(self):
+        assert build_fault_plan("chaos", seed=9).seed == 9
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(FaultPlanError):
+            build_fault_plan("full-moon")
+
+    def test_scenario_plans_are_valid_and_deterministic(self):
+        for name in FAULT_SCENARIOS:
+            assert build_fault_plan(name, seed=3) == build_fault_plan(name, seed=3)

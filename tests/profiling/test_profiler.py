@@ -87,6 +87,48 @@ class TestWindow:
         assert snap.window_minutes == 60.0
 
 
+class TestWindowBoundary:
+    """Pin the sliding-window boundary semantics.
+
+    A bucket lying *exactly* on the horizon is inside the window: reads
+    use ``horizon <= minute`` and ``_prune`` deletes only ``oldest <
+    horizon``.  These inclusive bounds are load-bearing — the staleness
+    detector's ``counts_between(now - horizon, now)`` read and the
+    60-minute causal-probability window both assume a sample recorded
+    exactly ``window_minutes`` ago still counts.
+    """
+
+    def test_bucket_exactly_at_horizon_is_counted(self, profiler):
+        pid = profiler.record(_sig("x"), 0.0)
+        # horizon = 60 - 60 = 0; bucket 0 satisfies horizon <= minute.
+        assert profiler.counts(60.0)[pid] == 1
+
+    def test_bucket_just_past_horizon_is_excluded(self, profiler):
+        pid = profiler.record(_sig("x"), 0.0)
+        assert profiler.counts(60.5)[pid] == 0
+
+    def test_prune_keeps_bucket_at_horizon(self, profiler):
+        pid = profiler.record(_sig("x"), 0.0)
+        # Recording at minute 60 prunes with horizon 0; bucket 0 is not
+        # strictly older (0 < 0 is false) and must survive.
+        profiler.record(_sig("x"), 60.0)
+        assert profiler.counts(60.0)[pid] == 2
+
+    def test_prune_drops_bucket_strictly_past_horizon(self, profiler):
+        pid = profiler.record(_sig("x"), 0.0)
+        profiler.record(_sig("x"), 61.0)
+        # horizon = 1; bucket 0 < 1 is gone from the backing store, so
+        # even a read windowed far enough back cannot resurrect it.
+        assert profiler.counts_between(0.0, 0.5)[pid] == 0
+        assert profiler.counts(61.0)[pid] == 1
+
+    def test_counts_between_bounds_are_inclusive(self, profiler):
+        pid = profiler.record(_sig("x"), 10.0)
+        profiler.record(_sig("x"), 20.0)
+        assert profiler.counts_between(10.0, 20.0)[pid] == 2
+        assert profiler.counts_between(10.5, 19.5)[pid] == 0
+
+
 class TestPersistence:
     def test_round_trip_preserves_counts(self, profiler):
         profiler.record(_sig("x"), 5.0, count=7)

@@ -102,3 +102,20 @@ class TestFailureInjection:
         b = _sim(pipeline_app, ElasticRMIManager(), failure_rate=0.05)
         b.run()
         assert a.nodes_failed_total == b.nodes_failed_total
+
+    def test_pinned_failure_count_for_seeded_run(self, pipeline_app):
+        # Pins the exact seeded outcome so the per-interval probability
+        # derivation (p = 1 - (1 - rate) ** INTERVAL_MINUTES, which must
+        # equal the raw rate while intervals are one minute) can never
+        # drift silently: any change to the conversion, the RNG stream,
+        # or the tick length shows up as a different total.
+        sim = _sim(pipeline_app, ElasticRMIManager(), failure_rate=0.05, rate=500.0)
+        sim.run()
+        assert sim.nodes_failed_total == 30
+
+    def test_per_interval_probability_matches_rate_at_unit_interval(self):
+        from repro.sim.engine import INTERVAL_MINUTES
+
+        rate = 0.05
+        assert INTERVAL_MINUTES == 1.0
+        assert 1.0 - (1.0 - rate) ** INTERVAL_MINUTES == pytest.approx(rate)

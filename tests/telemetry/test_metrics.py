@@ -61,13 +61,45 @@ class TestHistogram:
         h.observe(7)
         assert h.percentile(0.5) == 1
         assert h.percentile(0.99) == 1
-        assert h.percentile(1.0) == 10
+        # p100 is clamped to the observed max, not promoted to the bound
+        # of the bucket the max landed in.
+        assert h.percentile(1.0) == 7
+
+    def test_percentile_clamps_to_observed_range(self):
+        # All samples land above the first bucket: p0 must be the
+        # observed min (the old code returned the first bucket's bound,
+        # 1.0, because rank 0 was satisfied by the empty first bucket),
+        # and mid-quantiles must not exceed the observed max even though
+        # their bucket's upper bound (100) does.
+        h = MetricsRegistry().histogram("size", buckets=(1, 10, 100))
+        for v in (50, 60, 70):
+            h.observe(v)
+        assert h.percentile(0.0) == 50
+        assert h.percentile(0.5) == 70
+        assert h.percentile(1.0) == 70
+
+    def test_percentile_single_bucket(self):
+        h = MetricsRegistry().histogram("size", buckets=(10,))
+        for v in (2, 4):
+            h.observe(v)
+        assert h.percentile(0.0) == 2
+        assert h.percentile(0.5) == 4  # bound 10 clamped to max
+        assert h.percentile(1.0) == 4
+
+    def test_percentile_overflow_bucket_is_observed_max(self):
+        h = MetricsRegistry().histogram("size", buckets=(1,))
+        for v in (5, 9):
+            h.observe(v)
+        assert h.percentile(1.0) == 9
+        assert h.percentile(0.9) == 9
 
     def test_empty_histogram(self):
         h = MetricsRegistry().histogram("size", buckets=(1, 5))
         d = h.to_dict()
         assert d["count"] == 0
+        assert h.percentile(0.0) == 0.0
         assert h.percentile(0.5) == 0.0
+        assert h.percentile(1.0) == 0.0
 
 
 class TestTimer:

@@ -81,3 +81,39 @@ def test_gate_fails_on_synthetic_slowdown(tmp_path):
 
 def test_gate_covers_tracker_throughput_suite():
     assert "benchmarks/bench_micro_tracker.py" in check_regression.BENCH_FILES
+
+
+def test_gate_covers_fault_matrix():
+    assert (
+        "benchmarks/bench_robustness_seeds.py::test_bench_fault_matrix_graceful_degradation"
+        in check_regression.BENCH_FILES
+    )
+
+
+def test_missing_results_file_reports_clear_error(tmp_path, capsys):
+    rc = check_regression.main(["--results", str(tmp_path / "nope.json")])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "benchmark results file not found" in err
+    assert "--run" in err
+    assert "Traceback" not in err
+
+
+def test_empty_results_file_reports_clear_error(tmp_path, capsys):
+    path = tmp_path / "empty.json"
+    path.write_text("", encoding="utf-8")
+    rc = check_regression.main(["--results", str(path)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "not valid JSON" in err
+    assert "Traceback" not in err
+
+
+def test_results_without_benchmarks_reports_clear_error(tmp_path, capsys):
+    path = tmp_path / "hollow.json"
+    path.write_text('{"benchmarks": []}', encoding="utf-8")
+    rc = check_regression.main(["--results", str(path)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "no benchmark results found" in err
+    assert "Traceback" not in err
