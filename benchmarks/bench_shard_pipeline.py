@@ -1,0 +1,172 @@
+"""Shard/batch throughput: the sharded store behind the write pipeline.
+
+The batched write pipeline amortises its per-flush fixed costs (flush
+timing, batch telemetry, buffer management, retry bookkeeping) across
+the batch, so edge-ingest throughput must rise with the batch size at
+any shard count.  This suite sweeps shards × batch size over one fixed
+synthetic message stream and pins the claim CI gates on: batched ingest
+(batch >= 32) is at least 1.5x the throughput of flush-per-message
+ingest (batch = 1) at the same shard count.
+
+Two plain benchmarks (unbatched vs batched ingest at four shards) feed
+the regression gate with stable single-config timings alongside the
+sweep.
+"""
+
+import gc
+import time
+
+from benchmarks.bench_micro_tracker import _chain_requests
+from benchmarks.conftest import run_once
+from repro.core.causal_graph import DirectCausalityTracker
+from repro.evalx.reporting import format_table
+from repro.graphstore import BatchedWritePipeline, GraphStore, ShardedGraphStore
+from repro.profiling.profiler import CausalPathProfiler
+from repro.telemetry import MetricsRegistry
+
+SHARD_COUNTS = (1, 2, 4, 8)
+BATCH_SIZES = (1, 32, 256)
+#: CI-gated floor: batched ingest must beat flush-per-message by this
+#: factor at the best batch size >= 32 (measured headroom is ~1.6-2x).
+MIN_BATCH_SPEEDUP = 1.5
+
+
+def _stream(num_requests=400, depth=25):
+    batches = _chain_requests(num_requests=num_requests, depth=depth)
+    return [message for batch in batches for message in batch]
+
+
+def _build_pipeline(num_shards, batch_size):
+    registry = MetricsRegistry()
+    if num_shards > 1:
+        store = ShardedGraphStore(num_shards=num_shards, registry=registry)
+    else:
+        store = GraphStore(registry=registry)
+    return BatchedWritePipeline(store, batch_size=batch_size, registry=registry)
+
+
+def _ingest_seconds(messages, num_shards, batch_size):
+    """Wall time to push ``messages`` through one fresh pipeline.
+
+    Collection runs before (not during) the timed region: the sweep
+    compares per-flush fixed costs a few microseconds apart, and a GC
+    pause landing inside one configuration's run would swamp them.
+    """
+    pipeline = _build_pipeline(num_shards, batch_size)
+    submit = pipeline.submit
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for message in messages:
+            submit(message)
+        pipeline.flush()
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def test_bench_shard_batch_sweep(benchmark, repeats=5):
+    """Shards 1/2/4/8 × batch 1/32/256 over one fixed stream."""
+    messages = _stream()
+
+    def measure():
+        # Interleave the configurations across best-of-``repeats`` rounds
+        # (plus one untimed warm-up round) so a load spike on the runner
+        # hits every configuration equally instead of sinking whichever
+        # block it lands on.
+        grid = {}
+        for round_index in range(repeats + 1):
+            for num_shards in SHARD_COUNTS:
+                for batch_size in BATCH_SIZES:
+                    seconds = _ingest_seconds(messages, num_shards, batch_size)
+                    if round_index == 0:
+                        continue  # warm-up
+                    key = (num_shards, batch_size)
+                    grid[key] = min(grid.get(key, float("inf")), seconds)
+        return grid
+
+    grid = run_once(benchmark, measure)
+    total = len(messages)
+    rows = []
+    for num_shards in SHARD_COUNTS:
+        base = grid[(num_shards, 1)]
+        row = [str(num_shards)]
+        for batch_size in BATCH_SIZES:
+            seconds = grid[(num_shards, batch_size)]
+            throughput = total / seconds
+            benchmark.extra_info[
+                f"messages_per_sec_shards{num_shards}_batch{batch_size}"
+            ] = round(throughput)
+            row.append(f"{throughput / 1e3:.0f}k/s ({base / seconds:.2f}x)")
+        rows.append(row)
+    print()
+    print(format_table(["shards"] + [f"batch={b}" for b in BATCH_SIZES], rows))
+    for num_shards in SHARD_COUNTS:
+        base = grid[(num_shards, 1)]
+        best_speedup = max(
+            base / grid[(num_shards, batch_size)]
+            for batch_size in BATCH_SIZES
+            if batch_size >= 32
+        )
+        assert best_speedup >= MIN_BATCH_SPEEDUP, (
+            f"batched ingest at {num_shards} shard(s) only reached "
+            f"{best_speedup:.2f}x over batch=1 (need {MIN_BATCH_SPEEDUP}x)"
+        )
+
+
+def _drive_pipeline(benchmark, num_shards, batch_size):
+    messages = _stream()
+
+    def run():
+        pipeline = _build_pipeline(num_shards, batch_size)
+        submit = pipeline.submit
+        for message in messages:
+            submit(message)
+        pipeline.flush()
+        return pipeline.store.node_count()
+
+    stored = benchmark(run)
+    assert stored == len(messages)
+    benchmark.extra_info["messages_per_round"] = len(messages)
+    if benchmark.stats.stats.mean > 0:
+        benchmark.extra_info["messages_per_sec"] = round(
+            len(messages) / benchmark.stats.stats.mean
+        )
+
+
+def test_bench_pipeline_unbatched_ingest(benchmark):
+    """Gate anchor: flush-per-message ingest through four shards."""
+    _drive_pipeline(benchmark, num_shards=4, batch_size=1)
+
+
+def test_bench_pipeline_batched_ingest(benchmark):
+    """Gate anchor: batch-32 ingest through four shards."""
+    _drive_pipeline(benchmark, num_shards=4, batch_size=32)
+
+
+def test_bench_sharded_tracker_end_to_end(benchmark):
+    """Full tracker loop (observe → complete → evict) on a sharded,
+    batched store: the production configuration of the write path."""
+    batches = _chain_requests(num_requests=40, depth=25)
+    registry = MetricsRegistry()
+    store = ShardedGraphStore(num_shards=4, registry=registry)
+    profiler = CausalPathProfiler({}, registry=registry)
+    tracker = DirectCausalityTracker(
+        profiler, store=store, registry=registry, write_batch_size=32
+    )
+    total = sum(len(batch) for batch in batches)
+
+    def run():
+        for batch in batches:
+            tracker.observe_all(batch)
+        return tracker.completed_paths
+
+    benchmark(run)
+    assert tracker.completed_paths >= 40
+    assert store.node_count() == 0  # every graph evicted
+    benchmark.extra_info["messages_per_round"] = total
+    if benchmark.stats.stats.mean > 0:
+        benchmark.extra_info["messages_per_sec"] = round(
+            total / benchmark.stats.stats.mean
+        )

@@ -57,6 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--manager", choices=MANAGER_NAMES, default="DCA-10%")
     p_sim.add_argument("--duration", type=int, default=450, help="run minutes")
     p_sim.add_argument("--seed", type=int, default=7)
+    _add_store_options(p_sim)
 
     p_metrics = sub.add_parser(
         "metrics",
@@ -69,6 +70,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument(
         "--indent", type=int, default=2, help="JSON indent (0 for compact output)"
     )
+    _add_store_options(p_metrics)
 
     p_faults = sub.add_parser(
         "faults",
@@ -96,11 +98,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the full telemetry snapshot instead of the summary",
     )
+    _add_store_options(p_faults)
 
     p_table = sub.add_parser("table", help="Fig. 8 agility + RQ5 SLA tables")
     p_table.add_argument("scenarios", nargs="+", choices=sorted(SCENARIOS))
     p_table.add_argument("--duration", type=int, default=450, help="run minutes")
     p_table.add_argument("--seed", type=int, default=7)
+    p_table.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers for the per-manager runs (1 = serial)",
+    )
+    _add_store_options(p_table)
 
     p_report = sub.add_parser(
         "report", help="write a full markdown report (Figs. 5/6/8 + SLA) to a file"
@@ -109,8 +117,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--output", "-o", default="report.md", help="output path")
     p_report.add_argument("--duration", type=int, default=450, help="run minutes")
     p_report.add_argument("--seed", type=int, default=7)
+    p_report.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers for the per-manager runs (1 = serial)",
+    )
+    _add_store_options(p_report)
 
     return parser
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="graph-store shards behind each DCA tracker (1 = single store)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=1,
+        help="store-write batch size (1 = unbatched writes)",
+    )
+
+
+def _experiment_config(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        duration_minutes=args.duration,
+        seed=args.seed,
+        num_shards=getattr(args, "shards", 1),
+        write_batch_size=getattr(args, "batch_size", 1),
+    )
 
 
 def _cmd_analyze(args) -> int:
@@ -155,7 +188,7 @@ def _cmd_overhead(args) -> int:
 
 def _cmd_simulate(args) -> int:
     scenario = load_scenario(args.scenario)
-    config = ExperimentConfig(duration_minutes=args.duration, seed=args.seed)
+    config = _experiment_config(args)
     result = run_manager(scenario, args.manager, config)
     print(f"{args.manager} over {args.duration} minutes of {args.scenario}:")
     print(f"  agility            : {result.agility():.2f}")
@@ -170,7 +203,7 @@ def _cmd_metrics(args) -> int:
     from repro.telemetry import MetricsRegistry
 
     scenario = load_scenario(args.scenario)
-    config = ExperimentConfig(duration_minutes=args.duration, seed=args.seed)
+    config = _experiment_config(args)
     registry = MetricsRegistry()
     simulator = build_simulator(scenario, args.manager, config, registry=registry)
     simulator.run()
@@ -190,6 +223,8 @@ _FAULT_SUMMARY_KEYS = (
     "faults.node_crashes",
     "tracker.store_write_retries",
     "tracker.dead_letters",
+    "store.dead_letter_depth",
+    "store.dead_letter_dropped",
     "tracker.delayed_messages_delivered",
     "tracker.paths_abandoned",
     "tracker.abandoned_nodes",
@@ -212,7 +247,7 @@ def _cmd_faults(args) -> int:
         return 0 if args.list else 2
     scenario = load_scenario(args.app)
     plan = build_fault_plan(args.fault, seed=args.seed)
-    config = ExperimentConfig(duration_minutes=args.duration, seed=args.seed)
+    config = _experiment_config(args)
     registry = MetricsRegistry()
     manager_config = None
     rate = DCA_RATES.get(args.manager)
@@ -249,8 +284,8 @@ def _cmd_table(args) -> int:
     results_by_app = {}
     for name in args.scenarios:
         scenario = load_scenario(name)
-        config = ExperimentConfig(duration_minutes=args.duration, seed=args.seed)
-        results_by_app[name] = run_all_managers(scenario, config=config)
+        config = _experiment_config(args)
+        results_by_app[name] = run_all_managers(scenario, config=config, workers=args.workers)
     print("Average agility (Fig. 8; lower is better):")
     print(fig8_table(results_by_app))
     print("\nSLA violations (RQ5):")
@@ -273,8 +308,8 @@ def _cmd_report(args) -> int:
     for name in args.scenarios:
         scenario = load_scenario(name)
         overheads[name] = fig5_measurements(scenario, duration_minutes=args.duration)
-        config = ExperimentConfig(duration_minutes=args.duration, seed=args.seed)
-        results_by_app[name] = run_all_managers(scenario, config=config)
+        config = _experiment_config(args)
+        results_by_app[name] = run_all_managers(scenario, config=config, workers=args.workers)
 
     sections += ["", "## Fig. 5 — DCA runtime overhead", "```",
                  fig5_table(overheads), "```"]

@@ -44,6 +44,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.paths import signature_from_edges
 from repro.errors import TransientStoreError
 from repro.faults.injector import FaultInjector
+from repro.graphstore.pipeline import BatchedWritePipeline, DeadLetterQueue
 from repro.graphstore.store import GraphStore
 from repro.lang.message import Message, MessageUid
 from repro.profiling.profiler import CausalPathProfiler
@@ -80,6 +81,19 @@ class DirectCausalityTracker:
     retry_backoff_ms:
         Base of the exponential backoff schedule (doubles per retry);
         simulated time, accumulated in ``tracker.retry_backoff_ms``.
+    write_batch_size:
+        When > 1, store writes go through a
+        :class:`~repro.graphstore.pipeline.BatchedWritePipeline`:
+        per-shard buffers flushed when a buffer reaches this size, every
+        ``flush_interval_minutes`` of simulated time, and always before
+        completions are processed.  1 (the default) writes through
+        unbatched, exactly as before.
+    flush_interval_minutes:
+        Tick-bound of the batched pipeline (ignored when unbatched).
+    max_dead_letters:
+        Capacity of the dead-letter queue holding messages that
+        exhausted their write retries; beyond it the oldest parked
+        message is dropped and counted (``store.dead_letter_dropped``).
     """
 
     def __init__(
@@ -92,6 +106,9 @@ class DirectCausalityTracker:
         path_timeout_minutes: Optional[float] = None,
         max_write_retries: int = 3,
         retry_backoff_ms: float = 5.0,
+        write_batch_size: int = 1,
+        flush_interval_minutes: float = 1.0,
+        max_dead_letters: int = 256,
     ) -> None:
         self.profiler = profiler
         self.store = store if store is not None else GraphStore(registry=registry)
@@ -135,6 +152,29 @@ class DirectCausalityTracker:
             fault_injector is not None and fault_injector.plan.any_message_faults
         )
         self._plain_path = fault_injector is None and self.path_timeout_minutes is None
+        # Dead letters are parked (bounded) rather than silently dropped.
+        self.dead_letters = DeadLetterQueue(max_dead_letters, registry=self.telemetry)
+        self.write_batch_size = int(write_batch_size)
+        if self.write_batch_size > 1:
+            self._pipeline: Optional[BatchedWritePipeline] = BatchedWritePipeline(
+                self.store,
+                batch_size=self.write_batch_size,
+                flush_interval_minutes=flush_interval_minutes,
+                registry=self.telemetry,
+                fault_injector=fault_injector,
+                max_write_retries=self.max_write_retries,
+                retry_backoff_ms=self.retry_backoff_ms,
+                dead_letters=self.dead_letters,
+            )
+            # The pipeline owns the write-fault roll and the retry/
+            # dead-letter bookkeeping, so both observe paths route
+            # through submit().
+            self._write = self._pipeline.submit
+            self._submit = self._pipeline.submit
+        else:
+            self._pipeline = None
+            self._write = self.store.add_message
+            self._submit = self._store_with_retry
         # Completion is edge-triggered by response-node insertion.
         self.store.subscribe_path_complete(self._mark_complete)
 
@@ -152,6 +192,8 @@ class DirectCausalityTracker:
         fault-free, timeout-free configuration.
         """
         self._now_minutes = float(time_minutes)
+        if self._pipeline is not None:
+            self._pipeline.tick(self._now_minutes)
         if self._plain_path:
             return
         if self._delayed:
@@ -171,7 +213,7 @@ class DirectCausalityTracker:
             return
         self._m_observed.inc()
         if self._plain_path:
-            self.store.add_message(message)
+            self._write(message)
         else:
             self._admit(message)
 
@@ -183,7 +225,7 @@ class DirectCausalityTracker:
         observed = 0
         sampled_away = 0
         if self._plain_path:
-            add_message = self.store.add_message
+            add_message = self._write
             for message in messages:
                 if message.sampled:
                     observed += 1
@@ -223,7 +265,7 @@ class DirectCausalityTracker:
             if injector.should_duplicate_message():
                 copies = 2
         for _ in range(copies):
-            if not self._store_with_retry(message):
+            if not self._submit(message):
                 return
         if self.path_timeout_minutes is not None:
             root = message.root_uid
@@ -249,6 +291,7 @@ class DirectCausalityTracker:
                 self._m_retries.inc()
                 self._m_backoff_ms.inc(self.retry_backoff_ms * (2 ** attempt))
         self._m_dead_letters.inc()
+        self.dead_letters.append(message)
         return False
 
     def _deliver_due(self) -> None:
@@ -264,7 +307,7 @@ class DirectCausalityTracker:
             return
         self._delayed = [(eta, m) for eta, m in self._delayed if eta > now]
         for message in due:
-            if self._store_with_retry(message) and self.path_timeout_minutes is not None:
+            if self._submit(message) and self.path_timeout_minutes is not None:
                 root = message.root_uid
                 if root is None:
                     root = message.uid
@@ -282,14 +325,31 @@ class DirectCausalityTracker:
                 expired.append(root)
             else:
                 break  # insertion order is time order
+        if not expired:
+            return
+        # Buffered writes must land before the sweep: a root whose
+        # response is still sitting in a shard buffer is completed, not
+        # abandoned.
+        if self._pipeline is not None and self._pipeline.buffered:
+            self._pipeline.flush()
+        to_sweep: List[MessageUid] = []
         for root in expired:
             del self._root_first_seen[root]
             if root in self._pending_completion:
                 # Completed, just not flushed yet — not abandoned.
                 continue
-            removed = self.store.abandon_root(root)
-            self._m_abandoned.inc()
-            self._m_abandoned_nodes.inc(removed)
+            to_sweep.append(root)
+        if not to_sweep:
+            return
+        abandon_many = getattr(self.store, "abandon_roots", None)
+        if abandon_many is not None:
+            removed = abandon_many(to_sweep)
+        else:
+            removed = 0
+            for root in to_sweep:
+                removed += self.store.abandon_root(root)
+        self._m_abandoned.inc(len(to_sweep))
+        self._m_abandoned_nodes.inc(removed)
 
     # -- completion --------------------------------------------------------------
 
@@ -299,6 +359,10 @@ class DirectCausalityTracker:
 
     def flush(self) -> int:
         """Process all pending completions; return how many paths closed."""
+        if self._pipeline is not None and self._pipeline.buffered:
+            # Drain buffered writes first so completions they trigger are
+            # processed in this flush, not delayed to the next.
+            self._pipeline.flush()
         closed = 0
         with self._flush_timer:
             for root in self._pending_completion:

@@ -30,7 +30,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.sim.engine import ClusterSimulator, DCABundle, SimulationConfig
 from repro.sim.metrics import SimulationResult
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import MetricsRegistry, get_registry
 from repro.tracing.htrace import HTraceCollector
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.patterns import ScaledPattern, paper_pattern
@@ -62,10 +62,20 @@ class ExperimentConfig:
     duration_minutes: int = 450
     seed: int = 7
     sim: SimulationConfig = field(default_factory=SimulationConfig)
+    #: Graph-store shards behind each DCA tracker (1 = single store).
+    num_shards: int = 1
+    #: Store-write batch size (1 = unbatched writes, the old behaviour).
+    write_batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.duration_minutes < 1:
             raise EvaluationError(f"duration_minutes must be >= 1, got {self.duration_minutes}")
+        if self.num_shards < 1:
+            raise EvaluationError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.write_batch_size < 1:
+            raise EvaluationError(
+                f"write_batch_size must be >= 1, got {self.write_batch_size}"
+            )
         self.sim.duration_minutes = self.duration_minutes
 
 
@@ -155,6 +165,8 @@ def build_simulator(
         registry=registry,
         fault_plan=fault_plan,
         path_timeout_minutes=path_timeout_minutes,
+        num_shards=cfg.num_shards,
+        write_batch_size=cfg.write_batch_size,
     )
     if manager_config is not None:
         dca_config = manager_config
@@ -192,14 +204,61 @@ def run_manager(
     return build_simulator(scenario, manager_name, config).run()
 
 
+def _run_manager_task(
+    scenario_name: str,
+    manager_name: str,
+    config: Optional[ExperimentConfig],
+) -> Tuple[str, SimulationResult, Dict[str, object]]:
+    """Process-pool worker: one manager, one scenario, own telemetry.
+
+    Top-level (picklable) on purpose.  The scenario travels by *name* and
+    is rebuilt from the catalog inside the worker; the worker records
+    into a private registry and ships its snapshot back, so workers never
+    share mutable telemetry state — the parent merges the snapshots.
+    """
+    from repro.apps.catalog import load_scenario
+
+    scenario = load_scenario(scenario_name)
+    registry = MetricsRegistry()
+    result = build_simulator(scenario, manager_name, config, registry=registry).run()
+    return manager_name, result, registry.snapshot()
+
+
 def run_all_managers(
     scenario: AppScenario,
     managers: Optional[Sequence[str]] = None,
     config: Optional[ExperimentConfig] = None,
+    workers: int = 1,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, SimulationResult]:
-    """Run all (or the given) managers over one scenario."""
+    """Run all (or the given) managers over one scenario.
+
+    ``workers`` > 1 fans the managers out over a process pool (each run
+    is independent: own simulator, own registry).  Per-worker telemetry
+    snapshots are merged into ``registry`` (or the process default) on
+    the way back, so the aggregate counters match a serial run.  Falls
+    back to the serial path for scenarios not in the catalog (the worker
+    rebuilds the scenario by name).
+    """
     names = tuple(managers) if managers is not None else MANAGER_NAMES
     results: Dict[str, SimulationResult] = {}
+    if workers > 1 and len(names) > 1:
+        from repro.apps.catalog import SCENARIOS
+
+        if scenario.name in SCENARIOS:
+            from concurrent.futures import ProcessPoolExecutor
+
+            merged = registry if registry is not None else get_registry()
+            with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
+                futures = [
+                    pool.submit(_run_manager_task, scenario.name, name, config)
+                    for name in names
+                ]
+                for future in futures:
+                    name, result, snapshot = future.result()
+                    results[name] = result
+                    merged.merge_snapshot(snapshot)
+            return results
     for name in names:
         results[name] = run_manager(scenario, name, config)
     return results

@@ -1,6 +1,7 @@
 """Partitioned in-memory causal-graph store (Apache Titan substitute)."""
 
 from repro.graphstore.partition import HashPartitioner
+from repro.graphstore.pipeline import BatchedWritePipeline, DeadLetterQueue
 from repro.graphstore.query import (
     CausalGraphResult,
     EdgeTriple,
@@ -9,14 +10,18 @@ from repro.graphstore.query import (
     reachable_set,
     to_dot,
 )
+from repro.graphstore.sharded import ShardedGraphStore
 from repro.graphstore.store import GraphNode, GraphStore
 
 __all__ = [
+    "BatchedWritePipeline",
     "CausalGraphResult",
+    "DeadLetterQueue",
     "EdgeTriple",
     "GraphNode",
     "GraphStore",
     "HashPartitioner",
+    "ShardedGraphStore",
     "ancestors_of",
     "causal_graph_bfs",
     "reachable_set",

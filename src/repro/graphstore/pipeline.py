@@ -1,0 +1,234 @@
+"""Batched write pipeline: per-shard buffers between tracker and store.
+
+Dapper-style tracers keep instrumentation overhead low by *buffering*
+span writes and flushing them in batches; the same shape applies to the
+DCA monitoring host.  :class:`BatchedWritePipeline` sits between
+:class:`~repro.core.causal_graph.DirectCausalityTracker` and the graph
+store: ``observe``-side calls append messages to a per-shard buffer, and
+buffers are flushed
+
+* **size-bounded** — a shard's buffer reaching ``batch_size`` flushes
+  that shard immediately, and
+* **tick-bounded** — :meth:`tick` (called from the tracker's
+  per-interval maintenance pass) flushes everything at least every
+  ``flush_interval_minutes`` of simulated time, and
+* **on demand** — :meth:`flush` drains every buffer (the tracker drains
+  before processing path completions, so batching never delays a
+  completion past the flush that observes it).
+
+Batching amortises the per-write fixed costs — flush timing, batch
+telemetry, retry/backoff bookkeeping, fault-window evaluation — across
+the batch, while preserving the tracker's semantics exactly:
+
+* **Ordering** — all messages of one root route to one shard and each
+  shard buffer is FIFO, so per-root arrival order is preserved; shards
+  flush in index order, so the interleaving is deterministic.
+* **Exactly-once + dead-letter** — the store-write fault channel is
+  rolled at :meth:`submit` time, in arrival order, with the same
+  roll-per-attempt pattern the unbatched retry loop uses, so the seeded
+  decision stream (and therefore every retry, backoff and dead-letter
+  count) is identical to unbatched ingest at *any* batch size.
+  Dead-lettered messages are parked in a bounded
+  :class:`DeadLetterQueue` instead of being silently dropped.
+
+The pipeline writes through ``store.shards`` (a
+:class:`~repro.graphstore.sharded.ShardedGraphStore`) or treats a plain
+:class:`~repro.graphstore.store.GraphStore` as a single shard; either
+way the write targets must carry no fault injector of their own (the
+pipeline owns the write-fault roll).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.errors import GraphStoreError
+from repro.lang.message import Message
+from repro.telemetry import MetricsRegistry, get_registry
+
+#: Bucket bounds for the flushed-batch-size histogram (message counts).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class DeadLetterQueue:
+    """Bounded queue of messages that exhausted their store-write retries.
+
+    The queue exists for inspection and (future) replay; unbounded it
+    would grow forever under a sustained fault plan, so it keeps at most
+    ``max_size`` messages — when full, the *oldest* entry is dropped and
+    ``store.dead_letter_dropped`` counts the loss.  ``max_size <= 0``
+    disables parking entirely (every dead letter is dropped and
+    counted), preserving the old counted-and-dropped behaviour.
+    """
+
+    def __init__(self, max_size: int = 256, registry: Optional[MetricsRegistry] = None) -> None:
+        self.max_size = int(max_size)
+        self.telemetry = registry if registry is not None else get_registry()
+        self._items: Deque[Message] = deque()
+        self._m_dropped = self.telemetry.counter("store.dead_letter_dropped")
+        self._m_depth = self.telemetry.gauge("store.dead_letter_depth")
+
+    def append(self, message: Message) -> None:
+        items = self._items
+        if self.max_size <= 0:
+            self._m_dropped.inc()
+            return
+        if len(items) >= self.max_size:
+            items.popleft()
+            self._m_dropped.inc()
+        items.append(message)
+        self._m_depth.set(len(items))
+
+    def drain(self) -> List[Message]:
+        """Remove and return every parked message (oldest first)."""
+        drained = list(self._items)
+        self._items.clear()
+        self._m_depth.set(0)
+        return drained
+
+    @property
+    def dropped(self) -> int:
+        """Messages dropped because the queue was full (registry-backed)."""
+        return int(self._m_dropped.value)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._items)
+
+
+class BatchedWritePipeline:
+    """Size- and tick-bounded buffered writer in front of the graph store."""
+
+    def __init__(
+        self,
+        store,
+        batch_size: int = 32,
+        flush_interval_minutes: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
+        fault_injector=None,
+        max_write_retries: int = 3,
+        retry_backoff_ms: float = 5.0,
+        dead_letters: Optional[DeadLetterQueue] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise GraphStoreError(f"batch_size must be >= 1, got {batch_size}")
+        if flush_interval_minutes <= 0:
+            raise GraphStoreError(
+                f"flush_interval_minutes must be > 0, got {flush_interval_minutes}"
+            )
+        self.store = store
+        self.batch_size = int(batch_size)
+        self.flush_interval_minutes = float(flush_interval_minutes)
+        self.fault_injector = fault_injector
+        self.max_write_retries = int(max_write_retries)
+        self.retry_backoff_ms = float(retry_backoff_ms)
+        shards = getattr(store, "shards", None)
+        self._targets = list(shards) if shards is not None else [store]
+        for target in self._targets:
+            if target.fault_injector is not None:
+                raise GraphStoreError(
+                    "batched write targets must not roll their own fault "
+                    "injector (the pipeline owns the write-fault channel)"
+                )
+        if len(self._targets) > 1:
+            self._route = store.shard_index_of
+        else:
+            self._route = None
+        self._buffers: List[List[Message]] = [[] for _ in self._targets]
+        self._buffered = 0
+        self._last_flush_minute = 0.0
+        self.telemetry = registry if registry is not None else get_registry()
+        self.dead_letters = (
+            dead_letters
+            if dead_letters is not None
+            else DeadLetterQueue(registry=self.telemetry)
+        )
+        self._m_batches = self.telemetry.counter("store.write_batches")
+        self._m_batched = self.telemetry.counter("store.batched_writes")
+        self._m_batch_size = self.telemetry.histogram(
+            "store.write_batch_size", buckets=BATCH_SIZE_BUCKETS
+        )
+        self._flush_timer = self.telemetry.timer("store.flush_seconds")
+        # Retry/dead-letter bookkeeping shares the tracker's counter
+        # names so the fault CLI summary reads the same either way.
+        self._m_retries = self.telemetry.counter("tracker.store_write_retries")
+        self._m_backoff_ms = self.telemetry.counter("tracker.retry_backoff_ms")
+        self._m_dead_letters = self.telemetry.counter("tracker.dead_letters")
+
+    # -- write side --------------------------------------------------------------
+
+    @property
+    def buffered(self) -> int:
+        """Messages currently waiting in shard buffers."""
+        return self._buffered
+
+    def submit(self, message: Message) -> bool:
+        """Buffer one message for its shard; returns False when dead-lettered.
+
+        The write-fault channel is rolled here (arrival order) with the
+        unbatched retry-loop's exact roll pattern: one roll per attempt
+        until success or ``max_write_retries`` retries are exhausted.
+        Surviving messages are buffered; exhausted ones go to the
+        dead-letter queue immediately.
+        """
+        injector = self.fault_injector
+        if injector is not None:
+            failures = 0
+            max_retries = self.max_write_retries
+            while failures <= max_retries and injector.should_fail_store_write():
+                failures += 1
+            if failures:
+                retries = min(failures, max_retries)
+                self._m_retries.inc(retries)
+                backoff = self.retry_backoff_ms
+                self._m_backoff_ms.inc(backoff * ((1 << retries) - 1))
+                if failures > max_retries:
+                    self._m_dead_letters.inc()
+                    self.dead_letters.append(message)
+                    return False
+        route = self._route
+        index = 0 if route is None else route(
+            message.uid if message.root_uid is None else message.root_uid
+        )
+        buffer = self._buffers[index]
+        buffer.append(message)
+        self._buffered += 1
+        if len(buffer) >= self.batch_size:
+            self._flush_shard(index)
+        return True
+
+    # -- flush triggers ----------------------------------------------------------
+
+    def tick(self, now_minutes: float) -> int:
+        """Tick-bounded trigger: flush everything when the interval elapsed."""
+        if now_minutes - self._last_flush_minute >= self.flush_interval_minutes:
+            return self.flush(now_minutes)
+        return 0
+
+    def flush(self, now_minutes: Optional[float] = None) -> int:
+        """Drain every shard buffer (shard-index order); returns messages written."""
+        if now_minutes is not None:
+            self._last_flush_minute = float(now_minutes)
+        if not self._buffered:
+            return 0
+        written = 0
+        for index, buffer in enumerate(self._buffers):
+            if buffer:
+                written += self._flush_shard(index)
+        return written
+
+    def _flush_shard(self, index: int) -> int:
+        buffer = self._buffers[index]
+        if not buffer:
+            return 0
+        self._buffers[index] = []
+        self._buffered -= len(buffer)
+        with self._flush_timer:
+            written = self._targets[index].add_messages(buffer)
+        self._m_batches.inc()
+        self._m_batched.inc(written)
+        self._m_batch_size.observe(written)
+        return written

@@ -55,9 +55,21 @@ class CausalGraphResult:
 def causal_graph_bfs(store: GraphStore, root: MessageUid) -> CausalGraphResult:
     """Extract the causal graph rooted at external request ``root`` by BFS.
 
+    Accepts a single :class:`GraphStore` or a
+    :class:`~repro.graphstore.sharded.ShardedGraphStore`: root-sharding
+    keeps each causal graph shard-local, so the BFS routes to the
+    owning shard and never pays cross-shard probes per hop (it falls
+    back to facade-wide fan-out reads only if the root was stored
+    outside its home shard, e.g. via raw ``add_edge`` test setups).
+
     Raises :class:`~repro.errors.GraphStoreError` if the root node is not
     present in the store.
     """
+    shard_for_root = getattr(store, "shard_for_root", None)
+    if shard_for_root is not None:
+        home = shard_for_root(root)
+        if home.contains(root):
+            store = home
     root_node = store.get_node(root)
     if root_node is None:
         raise GraphStoreError(f"causal-graph root {root} not found in store")

@@ -1,0 +1,356 @@
+"""Root-sharded causal-graph store: N independent stores behind one facade.
+
+The paper offloads causal edges to Apache Titan precisely because a
+*distributed* store lets provenance capture scale with traffic.  The
+single :class:`~repro.graphstore.store.GraphStore` reproduces the hash
+*index*; this module reproduces the *scale-out*: a
+:class:`ShardedGraphStore` partitions whole causal graphs across
+``num_shards`` independent ``GraphStore`` instances, routed by the
+**root uid** of each message through the same
+:class:`~repro.graphstore.partition.HashPartitioner` (and therefore the
+same cached crc32) the in-store partitioning already uses.
+
+Routing rule
+------------
+Every message carries the uid of the external request at the head of its
+causal path (``root_uid``; the root message *is* its own root), so the
+entire causal graph of one request lands in exactly one shard.  That
+makes the hot per-root operations — signature accumulation, completion,
+eviction, abandonment — shard-local and embarrassingly parallel, while
+the shard count bounds nothing semantically: each shard runs the full
+incremental-signature machinery of PR 2 unchanged.
+
+The one semantic difference from a single store concerns *cross-root*
+provenance (a message of request A listing a cause from request B, i.e.
+taint through shared component state).  A single store propagates
+reachability across such bridges, so the bridged node joins both roots'
+signatures; under root-sharding the two graphs may live in different
+shards, and the foreign cause is treated exactly like a sampling gap (an
+edge whose node never arrives).  Signatures are therefore *root-local*
+under sharding.  For bridge-free streams — which is what the runtime's
+per-request tracing emits for every path the profiler counts — sharded
+and single-store results are identical message for message; the seeded
+equivalence suite in ``tests/graphstore/test_sharded_equivalence.py``
+pins this.
+
+Maintenance fan-out
+-------------------
+Reads by bare uid (``get_node``, ``root_of``, edge iteration) fan out
+across shards; per-root operations route.  Whole-store maintenance —
+:meth:`repair_dangling_edges` and the abandonment sweep
+(:meth:`abandon_roots`) — fans out shard by shard, optionally on a
+thread pool (``maintenance_workers``).  Shards never touch each other's
+state, so the only shared mutable surface under threaded maintenance is
+the telemetry registry — use a ``thread_safe`` registry
+(:class:`~repro.telemetry.MetricsRegistry`) when enabling it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GraphStoreError, TransientStoreError
+from repro.graphstore.partition import HashPartitioner
+from repro.graphstore.store import (
+    GRAPH_SIZE_BUCKETS,
+    EdgeTriple,
+    GraphNode,
+    GraphStore,
+)
+from repro.lang.message import Message, MessageUid
+from repro.telemetry import MetricsRegistry, get_registry
+
+try:  # pragma: no cover - stdlib, but keep import-failure graceful
+    from concurrent.futures import ThreadPoolExecutor
+except ImportError:  # pragma: no cover
+    ThreadPoolExecutor = None  # type: ignore[assignment]
+
+
+class ShardedGraphStore:
+    """``num_shards`` independent :class:`GraphStore` shards, routed by root uid.
+
+    Drop-in for :class:`GraphStore` everywhere the tracker and the query
+    API are concerned: the full read/write/maintenance surface is
+    exposed, per-root operations are O(1)-routed to the owning shard,
+    and completion callbacks registered via
+    :meth:`subscribe_path_complete` fire exactly as they would on a
+    single store.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of independent stores (>= 1).
+    num_partitions:
+        Hash partitions *inside* each shard (the Titan-style node
+        index), forwarded to each :class:`GraphStore`.
+    on_path_complete / registry:
+        As for :class:`GraphStore`.  All shards report into the same
+        registry, so the ``graphstore.*`` counters aggregate across the
+        fleet.
+    fault_injector:
+        Write-failure channel rolled *once per* :meth:`add_message`
+        **before** routing (the shards themselves are built fault-free),
+        so the injected-failure decision stream is identical to a single
+        store's regardless of the shard count.
+    maintenance_workers:
+        When > 1, :meth:`repair_dangling_edges` and
+        :meth:`abandon_roots` fan out over shards on a thread pool of
+        this size.  Pair with a thread-safe telemetry registry.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        num_partitions: int = 4,
+        on_path_complete: Optional[Callable[[MessageUid], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        fault_injector=None,
+        maintenance_workers: int = 0,
+    ) -> None:
+        if num_shards < 1:
+            raise GraphStoreError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self._router = HashPartitioner(self.num_shards)
+        self._shard_of = self._router.partition_of
+        self.telemetry = registry if registry is not None else get_registry()
+        self.fault_injector = fault_injector
+        self.maintenance_workers = int(maintenance_workers)
+        self._path_complete_subscribers: List[Callable[[MessageUid], None]] = []
+        if on_path_complete is not None:
+            self._path_complete_subscribers.append(on_path_complete)
+        self.shards: List[GraphStore] = [
+            GraphStore(
+                num_partitions=num_partitions,
+                registry=self.telemetry,
+                fault_injector=None,
+            )
+            for _ in range(self.num_shards)
+        ]
+        for shard in self.shards:
+            shard.subscribe_path_complete(self._notify_path_complete)
+        # Facade-level baselines for the legacy per-instance tallies (the
+        # shards share one registry, so per-shard deltas would each count
+        # the whole fleet's traffic).
+        self._m_nodes = self.telemetry.counter("graphstore.nodes_added")
+        self._m_edges = self.telemetry.counter("graphstore.edges_added")
+        self._m_cross = self.telemetry.counter("graphstore.cross_partition_edges")
+        self._m_lookups = self.telemetry.counter("graphstore.index_lookups")
+        self._m_cross_shard_reads = self.telemetry.counter("graphstore.cross_shard_reads")
+        # Handles the BFS query path expects on any store-like object.
+        self._m_bfs_extractions = self.telemetry.counter("graphstore.bfs_extractions")
+        self._m_bfs_hops = self.telemetry.counter("graphstore.bfs_hops")
+        self._m_extract_size = self.telemetry.histogram(
+            "graphstore.extracted_graph_size_nodes", buckets=GRAPH_SIZE_BUCKETS
+        )
+        self._base_edges = self._m_edges.value
+        self._base_cross = self._m_cross.value
+        self._base_lookups = self._m_lookups.value
+
+    # -- routing -----------------------------------------------------------------
+
+    def shard_index_of(self, root: MessageUid) -> int:
+        """Shard that owns the causal graph rooted at ``root``."""
+        return self._shard_of(root)
+
+    def shard_for_root(self, root: MessageUid) -> GraphStore:
+        """The :class:`GraphStore` shard that owns ``root``'s graph."""
+        return self.shards[self._shard_of(root)]
+
+    def _find_shard_holding(self, uid: MessageUid) -> Optional[GraphStore]:
+        """Fan out for the shard whose node index holds ``uid``."""
+        for shard in self.shards:
+            if shard.contains(uid):
+                return shard
+        return None
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe_path_complete(self, callback: Callable[[MessageUid], None]) -> None:
+        """Register ``callback(root_uid)`` for response-node insertions."""
+        self._path_complete_subscribers.append(callback)
+
+    def _notify_path_complete(self, root: MessageUid) -> None:
+        for callback in self._path_complete_subscribers:
+            callback(root)
+
+    # -- legacy per-instance tallies ----------------------------------------------
+
+    @property
+    def edge_count(self) -> int:
+        """Edges recorded through this facade (all shards)."""
+        return int(self._m_edges.value - self._base_edges)
+
+    @property
+    def cross_partition_edges(self) -> int:
+        return int(self._m_cross.value - self._base_cross)
+
+    @property
+    def index_lookups(self) -> int:
+        return int(self._m_lookups.value - self._base_lookups)
+
+    # -- writes ---------------------------------------------------------------
+
+    def add_message(self, message: Message) -> GraphNode:
+        """Route ``message`` to its root's shard and insert it there.
+
+        The write-failure fault channel is rolled here (pre-routing, no
+        state mutated on failure) so unbatched sharded ingest consumes
+        the injector's decision stream exactly as a single store would.
+        """
+        injector = self.fault_injector
+        if injector is not None and injector.should_fail_store_write():
+            raise TransientStoreError(f"injected write failure for {message.uid}")
+        root = message.root_uid
+        shard = self.shards[self._shard_of(message.uid if root is None else root)]
+        return shard.add_message(message)
+
+    def add_messages(self, messages: Sequence[Message]) -> int:
+        """Bulk insert; the batched write pipeline groups per shard first.
+
+        Provided for symmetry with :meth:`GraphStore.add_messages`; each
+        message is still routed individually (callers with pre-grouped
+        batches should write straight to ``shards[i].add_messages``).
+        """
+        add = self.add_message
+        count = 0
+        for message in messages:
+            add(message)
+            count += 1
+        return count
+
+    def add_edge(self, cause: MessageUid, effect: MessageUid) -> None:
+        """Record a raw causal edge in the shard holding either endpoint.
+
+        Both endpoints of a raw edge must belong to the same causal
+        graph (the routing invariant); when neither node is present yet,
+        the edge is routed by the effect uid's own hash, matching where
+        a root-less effect node would land.
+        """
+        shard = self._find_shard_holding(effect)
+        if shard is None:
+            shard = self._find_shard_holding(cause)
+        if shard is None:
+            shard = self.shards[self._shard_of(effect)]
+        shard.add_edge(cause, effect)
+
+    # -- reads ------------------------------------------------------------------
+
+    def contains(self, uid: MessageUid) -> bool:
+        return self._find_shard_holding(uid) is not None
+
+    def get_node(self, uid: MessageUid) -> Optional[GraphNode]:
+        """Cross-shard node lookup (one index lookup, N probes worst case)."""
+        self._m_lookups.inc()
+        shards = self.shards
+        node = shards[0]._node_at(uid)
+        if node is not None or len(shards) == 1:
+            return node
+        self._m_cross_shard_reads.inc()
+        for shard in shards[1:]:
+            node = shard._node_at(uid)
+            if node is not None:
+                return node
+        return None
+
+    def require_node(self, uid: MessageUid) -> GraphNode:
+        node = self.get_node(uid)
+        if node is None:
+            raise GraphStoreError(f"unknown node uid {uid}")
+        return node
+
+    def successors(self, uid: MessageUid) -> Set[MessageUid]:
+        out: Set[MessageUid] = set()
+        for shard in self.shards:
+            out.update(shard.iter_successors(uid))
+        return out
+
+    def predecessors(self, uid: MessageUid) -> Set[MessageUid]:
+        out: Set[MessageUid] = set()
+        for shard in self.shards:
+            out.update(shard.iter_predecessors(uid))
+        return out
+
+    def iter_successors(self, uid: MessageUid) -> Iterator[MessageUid]:
+        for shard in self.shards:
+            yield from shard.iter_successors(uid)
+
+    def iter_predecessors(self, uid: MessageUid) -> Iterator[MessageUid]:
+        for shard in self.shards:
+            yield from shard.iter_predecessors(uid)
+
+    def node_count(self) -> int:
+        return sum(shard.node_count() for shard in self.shards)
+
+    def root_of(self, uid: MessageUid) -> Optional[MessageUid]:
+        for shard in self.shards:
+            root = shard.root_of(uid)
+            if root is not None:
+                return root
+        return None
+
+    def all_uids(self) -> Iterable[MessageUid]:
+        for shard in self.shards:
+            yield from shard.all_uids()
+
+    # -- incremental signatures ---------------------------------------------------
+
+    def completed_signature(
+        self, root: MessageUid
+    ) -> Optional[Tuple[str, Tuple[EdgeTriple, ...]]]:
+        """Shard-local O(1) signature read (see :meth:`GraphStore.completed_signature`)."""
+        return self.shards[self._shard_of(root)].completed_signature(root)
+
+    def graph_members(self, root: MessageUid) -> Tuple[MessageUid, ...]:
+        return self.shards[self._shard_of(root)].graph_members(root)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def evict_graph(self, root: MessageUid) -> int:
+        return self.shards[self._shard_of(root)].evict_graph(root)
+
+    def abandon_root(self, root: MessageUid) -> int:
+        return self.shards[self._shard_of(root)].abandon_root(root)
+
+    def abandon_roots(self, roots: Iterable[MessageUid]) -> int:
+        """Abandon many roots in one sweep, grouped (and fanned out) per shard.
+
+        Each shard's O(stored nodes) scan runs once per sweep instead of
+        once per root; with ``maintenance_workers`` > 1 the per-shard
+        sweeps run concurrently.  Returns total nodes removed.
+        """
+        by_shard: List[List[MessageUid]] = [[] for _ in self.shards]
+        for root in roots:
+            by_shard[self._shard_of(root)].append(root)
+
+        def sweep(index: int) -> int:
+            shard = self.shards[index]
+            removed = 0
+            for root in by_shard[index]:
+                removed += shard.abandon_root(root)
+            return removed
+
+        busy = [i for i, group in enumerate(by_shard) if group]
+        return sum(self._fan_out(sweep, busy))
+
+    def repair_dangling_edges(self) -> int:
+        """Run the dangling-edge sweep on every shard (fan-out)."""
+        def repair(index: int) -> int:
+            return self.shards[index].repair_dangling_edges()
+
+        dirty = [i for i, shard in enumerate(self.shards) if shard._dangling_effects]
+        return sum(self._fan_out(repair, dirty))
+
+    def _fan_out(self, fn: Callable[[int], int], indexes: Sequence[int]) -> List[int]:
+        """Apply ``fn`` to each shard index, threaded when configured.
+
+        Shards share no mutable state with each other, so per-shard
+        maintenance is safe to run concurrently; only the telemetry
+        registry is shared (use a thread-safe registry with workers).
+        """
+        if not indexes:
+            return []
+        workers = self.maintenance_workers
+        if workers > 1 and len(indexes) > 1 and ThreadPoolExecutor is not None:
+            with ThreadPoolExecutor(max_workers=min(workers, len(indexes))) as pool:
+                return list(pool.map(fn, indexes))
+        return [fn(index) for index in indexes]

@@ -340,6 +340,20 @@ class GraphStore:
             self._notify_path_complete(root)
         return node
 
+    def add_messages(self, messages: Iterable[Message]) -> int:
+        """Bulk insert a batch of messages; returns how many were stored.
+
+        The write-fault roll of :meth:`add_message` applies per message,
+        so callers that pre-roll fault decisions (the batched write
+        pipeline) must target a store built without an injector.
+        """
+        add = self.add_message
+        count = 0
+        for message in messages:
+            add(message)
+            count += 1
+        return count
+
     def add_edge(self, cause: MessageUid, effect: MessageUid) -> None:
         """Record a directed causal edge ``cause → effect``."""
         if cause == effect:
@@ -428,6 +442,10 @@ class GraphStore:
         """O(1) hash-index lookup of a node by uid."""
         self._m_lookups.inc()
         return self._partitions[self._partition_of(uid)].get(uid)
+
+    def contains(self, uid: MessageUid) -> bool:
+        """Whether ``uid``'s node is stored (no index-lookup accounting)."""
+        return self._partitions[self._partition_of(uid)].get(uid) is not None
 
     def require_node(self, uid: MessageUid) -> GraphNode:
         node = self.get_node(uid)

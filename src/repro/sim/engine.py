@@ -41,6 +41,7 @@ from repro.core.sampling import RequestSampler
 from repro.errors import SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.graphstore.sharded import ShardedGraphStore
 from repro.graphstore.store import GraphStore
 from repro.lang.ir import Application
 from repro.profiling.profiler import CausalPathProfiler
@@ -116,6 +117,9 @@ class DCABundle:
         registry: Optional[MetricsRegistry] = None,
         fault_plan: Optional[FaultPlan] = None,
         path_timeout_minutes: Optional[float] = None,
+        num_shards: int = 1,
+        write_batch_size: int = 1,
+        maintenance_workers: int = 0,
     ) -> "DCABundle":
         """Analyse, instrument, and wire the full DCA pipeline for ``app``.
 
@@ -125,6 +129,13 @@ class DCABundle:
         (message channels), the store (write failures), and the engine
         (scheduled node crashes), so a single seed fixes every fault
         decision of the run.
+
+        ``num_shards`` > 1 replaces the single store with a
+        :class:`~repro.graphstore.sharded.ShardedGraphStore`;
+        ``write_batch_size`` > 1 puts the batched write pipeline in front
+        of it.  The injector's write-fault channel then moves with the
+        roll owner (facade when unbatched, pipeline when batched) so the
+        seeded fault stream is configuration-independent.
         """
         dca_result = analyze_application(app)
         runtime = ApplicationRuntime(
@@ -140,12 +151,26 @@ class DCABundle:
         injector = None
         if fault_plan is not None:
             injector = FaultInjector(fault_plan, registry=profiler.telemetry)
+        # The write-fault roll lives with whichever layer performs the
+        # store write: the batched pipeline (batch > 1) or the store
+        # itself (unbatched), never both.
+        store_injector = injector if write_batch_size <= 1 else None
+        if num_shards > 1:
+            store = ShardedGraphStore(
+                num_shards=num_shards,
+                registry=registry,
+                fault_injector=store_injector,
+                maintenance_workers=maintenance_workers,
+            )
+        else:
+            store = GraphStore(registry=registry, fault_injector=store_injector)
         tracker = DirectCausalityTracker(
             profiler,
-            store=GraphStore(registry=registry, fault_injector=injector),
+            store=store,
             registry=registry,
             fault_injector=injector,
             path_timeout_minutes=path_timeout_minutes,
+            write_batch_size=write_batch_size,
         )
         sampler = RequestSampler(sampling_rate, num_front_ends=num_front_ends, seed=seed)
         return cls(

@@ -26,6 +26,7 @@ Design constraints:
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -62,10 +63,19 @@ def _render_key(name: str, label_key: Tuple[Tuple[str, str], ...]) -> str:
     return f"{name}{{{inner}}}"
 
 
+def _locked(fn, lock):
+    def locked_call(*args, **kwargs):
+        with lock:
+            return fn(*args, **kwargs)
+    return locked_call
+
+
 class Metric:
     """Base: a named instrument with a frozen label set."""
 
     kind = "metric"
+    #: Methods serialised behind a lock by :meth:`_bind_lock`.
+    _MUTATORS: Tuple[str, ...] = ()
 
     def __init__(self, name: str, labels: LabelMapping = None) -> None:
         if not name:
@@ -76,6 +86,18 @@ class Metric:
         # Labels are frozen after construction, so the rendered key is
         # computed once rather than on every registry/snapshot access.
         self._key = _render_key(name, label_key)
+
+    def _bind_lock(self, lock: "threading.Lock") -> None:
+        """Serialise this instrument's mutators behind ``lock``.
+
+        Shadowing the bound methods on the instance keeps the unlocked
+        (single-threaded, default) hot path free of any branch or lock
+        acquisition — only registries built with ``thread_safe=True`` pay
+        for synchronisation.
+        """
+        self.lock = lock
+        for attr in self._MUTATORS:
+            setattr(self, attr, _locked(getattr(self, attr), lock))
 
     @property
     def key(self) -> str:
@@ -93,6 +115,7 @@ class Counter(Metric):
     """Monotonically increasing count of events."""
 
     kind = "counter"
+    _MUTATORS = ("inc",)
 
     def __init__(self, name: str, labels: LabelMapping = None) -> None:
         super().__init__(name, labels)
@@ -118,6 +141,7 @@ class Gauge(Metric):
     """Point-in-time value that can move both ways (depths, sizes)."""
 
     kind = "gauge"
+    _MUTATORS = ("set", "inc", "dec")
 
     def __init__(self, name: str, labels: LabelMapping = None) -> None:
         super().__init__(name, labels)
@@ -154,6 +178,7 @@ class Histogram(Metric):
     """
 
     kind = "histogram"
+    _MUTATORS = ("observe", "merge")
 
     def __init__(
         self,
@@ -224,6 +249,31 @@ class Histogram(Metric):
                 return min(max(bound, self._min), self._max)
         return self._max
 
+    def merge(self, data: Mapping[str, object]) -> None:
+        """Fold another histogram's :meth:`to_dict` export into this one.
+
+        The bucket boundaries must match exactly; counts, sums and
+        extrema combine as if every sample had been observed here.
+        """
+        buckets = data["buckets"]
+        bounds = tuple(sorted(float(b) for b in buckets if b != "+Inf"))
+        if bounds != self.bounds:
+            raise TelemetryError(
+                f"histogram {self.key!r}: cannot merge mismatched buckets "
+                f"{bounds} into {self.bounds}"
+            )
+        for i, bound in enumerate(self.bounds):
+            self._bucket_counts[i] += int(buckets[str(bound)])
+        self._bucket_counts[-1] += int(buckets.get("+Inf", 0))
+        self._count += int(data["count"])
+        self._sum += float(data["sum"])
+        other_min = data.get("min")
+        if other_min is not None:
+            self._min = other_min if self._min is None else min(self._min, other_min)
+        other_max = data.get("max")
+        if other_max is not None:
+            self._max = other_max if self._max is None else max(self._max, other_max)
+
     def to_dict(self) -> Dict[str, object]:
         buckets = {str(b): c for b, c in zip(self.bounds, self._bucket_counts)}
         buckets["+Inf"] = self._bucket_counts[-1]
@@ -279,10 +329,20 @@ class MetricsRegistry:
     returns the same instrument, so instrumented objects can share
     aggregate metrics across a whole simulation while holding direct
     references for hot-path updates.
+
+    Concurrency: instrument *creation* is always serialised (it is cold
+    path — callers cache the handles).  Instrument *updates* are only
+    synchronised when the registry is built with ``thread_safe=True``,
+    which binds a per-instrument lock around every mutator; the default
+    single-threaded registry keeps the zero-overhead hot path.  Process
+    workers don't share memory at all — each runs its own registry and
+    the parent folds the results together via :meth:`merge_snapshot`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, thread_safe: bool = False) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self.thread_safe = bool(thread_safe)
+        self._create_lock = threading.Lock()
 
     # -- get-or-create -----------------------------------------------------------
 
@@ -290,9 +350,14 @@ class MetricsRegistry:
         key = _render_key(name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
-            metric = cls(name, labels=labels, **kwargs)
-            self._metrics[key] = metric
-        elif not isinstance(metric, cls):
+            with self._create_lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, labels=labels, **kwargs)
+                    if self.thread_safe:
+                        metric._bind_lock(threading.Lock())
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
             raise TelemetryError(
                 f"metric {key!r} already registered as {metric.kind}, not {cls.kind}"
             )
@@ -338,10 +403,47 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, object]:
         """Point-in-time export: ``{"schema": 1, "metrics": {key: {...}}}``."""
+        with self._create_lock:
+            keys = sorted(self._metrics)
         return {
             "schema": SCHEMA_VERSION,
-            "metrics": {key: self._metrics[key].to_dict() for key in sorted(self._metrics)},
+            "metrics": {key: self._metrics[key].to_dict() for key in keys},
         }
+
+    def merge_snapshot(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is how per-worker registries aggregate: each worker (thread
+        or process) records into its own registry, and the coordinator
+        merges the exported snapshots.  Counters add; gauges add too (a
+        merged gauge is the *sum* of the per-worker last-seen values —
+        meaningful for depth-style gauges, document per metric if not);
+        histograms require identical bucket boundaries and combine
+        bucket-by-bucket.  Timers export as histograms, so they merge as
+        histograms.
+        """
+        schema = snapshot.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise TelemetryError(
+                f"cannot merge snapshot with schema {schema!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        for key, data in snapshot.get("metrics", {}).items():
+            name = key.split("{", 1)[0]
+            labels = data.get("labels") or None
+            kind = data.get("type")
+            if kind == Counter.kind:
+                self.counter(name, labels).inc(float(data["value"]))
+            elif kind == Gauge.kind:
+                self.gauge(name, labels).inc(float(data["value"]))
+            elif kind == Histogram.kind:
+                buckets = data["buckets"]
+                bounds = sorted(float(b) for b in buckets if b != "+Inf")
+                self.histogram(name, labels, buckets=bounds).merge(data)
+            else:
+                raise TelemetryError(
+                    f"cannot merge metric {key!r} of unknown kind {kind!r}"
+                )
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

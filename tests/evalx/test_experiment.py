@@ -80,3 +80,43 @@ class TestShortRuns:
         assert sim.dca.tracker.completed_paths > 0
         counts = sim.dca.profiler.counts(9.0)
         assert sum(counts.values()) > 0
+
+
+class TestParallelRunner:
+    def test_workers_match_serial_results(self, scenario):
+        """Process workers must reproduce the serial runner bit-for-bit."""
+        from repro.telemetry import MetricsRegistry
+
+        managers = ("CloudWatch", "DCA-10%", "ElasticRMI")
+        cfg = ExperimentConfig(duration_minutes=15, seed=7)
+        serial = run_all_managers(scenario, managers=managers, config=cfg)
+        registry = MetricsRegistry()
+        parallel = run_all_managers(
+            scenario, managers=managers, config=cfg, workers=3, registry=registry
+        )
+        assert set(parallel) == set(serial)
+        for name in managers:
+            assert parallel[name].agility() == serial[name].agility()
+            assert (
+                parallel[name].sla_violation_percent()
+                == serial[name].sla_violation_percent()
+            )
+        # Worker telemetry was merged back into the parent registry.
+        assert registry.counter("tracker.paths_completed").value > 0
+
+    def test_sharded_batched_config_travels_to_workers(self, scenario):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cfg = ExperimentConfig(
+            duration_minutes=15, seed=7, num_shards=4, write_batch_size=16
+        )
+        results = run_all_managers(
+            scenario,
+            managers=("DCA-10%", "DCA-100%"),
+            config=cfg,
+            workers=2,
+            registry=registry,
+        )
+        assert set(results) == {"DCA-10%", "DCA-100%"}
+        assert registry.counter("store.write_batches").value > 0

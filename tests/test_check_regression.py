@@ -117,3 +117,103 @@ def test_results_without_benchmarks_reports_clear_error(tmp_path, capsys):
     err = capsys.readouterr().err
     assert "no benchmark results found" in err
     assert "Traceback" not in err
+
+
+def test_gate_covers_shard_pipeline_suite():
+    assert "benchmarks/bench_shard_pipeline.py" in check_regression.BENCH_FILES
+
+
+def test_fresh_calibration_cache_skips_measurement(tmp_path, monkeypatch):
+    cache = tmp_path / "cache.json"
+    cache.write_text(
+        json.dumps({"calibration_seconds": 0.123, "measured_at": check_regression.time.time()}),
+        encoding="utf-8",
+    )
+
+    def boom():
+        raise AssertionError("calibrate() must not run on a fresh cache")
+
+    monkeypatch.setattr(check_regression, "calibrate", boom)
+    assert check_regression.cached_calibration(cache) == 0.123
+
+
+def test_stale_calibration_cache_remeasures_and_rewrites(tmp_path, monkeypatch):
+    cache = tmp_path / "cache.json"
+    cache.write_text(
+        json.dumps({"calibration_seconds": 0.123, "measured_at": 0.0}),
+        encoding="utf-8",
+    )
+    monkeypatch.setattr(check_regression, "calibrate", lambda: 0.456)
+    assert check_regression.cached_calibration(cache) == 0.456
+    payload = json.loads(cache.read_text(encoding="utf-8"))
+    assert payload["calibration_seconds"] == 0.456
+    assert payload["measured_at"] > 0
+
+
+def test_corrupt_calibration_cache_degrades_to_measuring(tmp_path, monkeypatch):
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json", encoding="utf-8")
+    monkeypatch.setattr(check_regression, "calibrate", lambda: 0.789)
+    assert check_regression.cached_calibration(cache) == 0.789
+    # and the sidecar was repaired for the next run
+    assert json.loads(cache.read_text(encoding="utf-8"))["calibration_seconds"] == 0.789
+
+
+def test_unwritable_calibration_cache_still_returns_measurement(tmp_path, monkeypatch):
+    monkeypatch.setattr(check_regression, "calibrate", lambda: 0.321)
+    missing_dir = tmp_path / "no" / "such" / "dir" / "cache.json"
+    assert check_regression.cached_calibration(missing_dir) == 0.321
+
+
+def test_no_calibrate_alias(tmp_path, monkeypatch):
+    """``--no-calibrate`` is accepted as an alias for ``--no-calibration``."""
+    means = {"bench_a::test_x": 0.002}
+    results = _results_json(tmp_path, means)
+    baseline = tmp_path / "baseline.json"
+    check_regression.main(
+        ["--results", str(results), "--baseline", str(baseline), "--update-baseline"]
+    )
+
+    def boom():
+        raise AssertionError("calibration must be skipped under --no-calibrate")
+
+    monkeypatch.setattr(check_regression, "calibrate", boom)
+    monkeypatch.setattr(check_regression, "cached_calibration", boom)
+    rc = check_regression.main(
+        ["--results", str(results), "--baseline", str(baseline), "--no-calibrate"]
+    )
+    assert rc == 0
+
+
+def test_check_uses_calibration_cache_path(tmp_path, monkeypatch):
+    """The gate reads machine speed through the cache sidecar it is given."""
+    means = {"bench_a::test_x": 0.002}
+    results = _results_json(tmp_path, means)
+    baseline = tmp_path / "baseline.json"
+    check_regression.main(
+        ["--results", str(results), "--baseline", str(baseline), "--update-baseline"]
+    )
+    cache = tmp_path / "cal.json"
+    baseline_cal = json.loads(baseline.read_text(encoding="utf-8"))["calibration_seconds"]
+    cache.write_text(
+        json.dumps(
+            {"calibration_seconds": baseline_cal, "measured_at": check_regression.time.time()}
+        ),
+        encoding="utf-8",
+    )
+
+    def boom():
+        raise AssertionError("fresh sidecar must satisfy the gate's calibration read")
+
+    monkeypatch.setattr(check_regression, "calibrate", boom)
+    rc = check_regression.main(
+        [
+            "--results",
+            str(results),
+            "--baseline",
+            str(baseline),
+            "--calibration-cache",
+            str(cache),
+        ]
+    )
+    assert rc == 0
