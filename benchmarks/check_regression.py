@@ -59,6 +59,7 @@ BENCH_FILES = (
     "benchmarks/bench_ablation_graphstore.py",
     "benchmarks/bench_micro_tracker.py",
     "benchmarks/bench_shard_pipeline.py",
+    "benchmarks/bench_event_engine.py",
     "benchmarks/bench_robustness_seeds.py::test_bench_fault_matrix_graceful_degradation",
 )
 

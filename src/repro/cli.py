@@ -28,6 +28,7 @@ from repro.evalx.experiment import MANAGER_NAMES, ExperimentConfig, run_all_mana
 from repro.faults import FAULT_SCENARIOS, build_fault_plan
 from repro.evalx.overhead import fig5_measurements
 from repro.evalx.reporting import fig5_table, fig8_table, format_table, sla_table
+from repro.sim.engine import ENGINES
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -135,6 +136,11 @@ def _add_store_options(parser: argparse.ArgumentParser) -> None:
         "--batch-size", type=int, default=1,
         help="store-write batch size (1 = unbatched writes)",
     )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default="tick",
+        help="run-loop implementation: the fixed-tick oracle or the "
+        "discrete-event fast path (bit-identical results per seed)",
+    )
 
 
 def _experiment_config(args) -> ExperimentConfig:
@@ -143,6 +149,7 @@ def _experiment_config(args) -> ExperimentConfig:
         seed=args.seed,
         num_shards=getattr(args, "shards", 1),
         write_batch_size=getattr(args, "batch_size", 1),
+        engine=getattr(args, "engine", "tick"),
     )
 
 

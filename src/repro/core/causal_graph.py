@@ -183,6 +183,47 @@ class DirectCausalityTracker:
         """Causal paths this tracker has closed (registry-backed)."""
         return int(self._m_completed.value - self._base_completed)
 
+    @property
+    def supports_snapshot_replay(self) -> bool:
+        """Whether the event engine may replay converged ingestion deltas.
+
+        The replay fast path freezes a converged per-execution telemetry
+        delta and stops feeding the store, so it is only sound when no
+        per-message state can diverge from the frozen template: no fault
+        injector (message channels and store-write rolls consume seeded
+        RNG streams), no path timeout (per-root age bookkeeping), no
+        batched pipeline (flush boundaries straddle executions), and the
+        plain single store (a sharded store keys telemetry by the uid
+        hash of each root, which varies per execution).
+        """
+        return (
+            self._plain_path
+            and self._pipeline is None
+            and type(self.store) is GraphStore
+        )
+
+    def next_delayed_due_minutes(self) -> Optional[float]:
+        """Earliest due time among fault-delayed messages, or ``None``.
+
+        The event engine polls this after each interval to schedule a
+        delivery event at the interval boundary the due time lands on.
+        """
+        if not self._delayed:
+            return None
+        return min(eta for eta, _ in self._delayed)
+
+    def deliver_delayed(self, now_minutes: float) -> None:
+        """Deliver fault-delayed messages due at ``now_minutes``.
+
+        Event-engine entry point: advances the tracker clock and runs
+        only the delayed-delivery slice of the maintenance pass, so a
+        delivery event at an interval boundary reproduces exactly what
+        the tick loop's :meth:`advance_to` would have done there.
+        """
+        self._now_minutes = float(now_minutes)
+        if self._delayed:
+            self._deliver_due()
+
     def advance_to(self, time_minutes: float) -> None:
         """Advance the tracker clock and run the maintenance pass.
 

@@ -28,7 +28,7 @@ from repro.core.elasticity import (
 from repro.errors import EvaluationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
-from repro.sim.engine import ClusterSimulator, DCABundle, SimulationConfig
+from repro.sim.engine import ENGINES, ClusterSimulator, DCABundle, SimulationConfig
 from repro.sim.metrics import SimulationResult
 from repro.telemetry import MetricsRegistry, get_registry
 from repro.tracing.htrace import HTraceCollector
@@ -66,6 +66,9 @@ class ExperimentConfig:
     num_shards: int = 1
     #: Store-write batch size (1 = unbatched writes, the old behaviour).
     write_batch_size: int = 1
+    #: Run-loop implementation: "tick" (the oracle) or "event" (the
+    #: discrete-event fast path); both are bit-identical per seed.
+    engine: str = "tick"
 
     def __post_init__(self) -> None:
         if self.duration_minutes < 1:
@@ -76,7 +79,10 @@ class ExperimentConfig:
             raise EvaluationError(
                 f"write_batch_size must be >= 1, got {self.write_batch_size}"
             )
+        if self.engine not in ENGINES:
+            raise EvaluationError(f"engine must be one of {ENGINES}, got {self.engine!r}")
         self.sim.duration_minutes = self.duration_minutes
+        self.sim.engine = self.engine
 
 
 def _make_generator(scenario: AppScenario, seed: int) -> WorkloadGenerator:

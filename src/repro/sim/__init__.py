@@ -1,8 +1,15 @@
 """Discrete-time cluster simulator (the paper's testbed substitute)."""
 
 from repro.sim.cluster import Cluster, ComponentGroup, DeploymentSpec
-from repro.sim.engine import ClusterSimulator, DCABundle, SimulationConfig
+from repro.sim.engine import ENGINES, ClusterSimulator, DCABundle, SimulationConfig
+from repro.sim.events import (
+    EventDrivenRunner,
+    EventQueue,
+    ReplayIngestor,
+    is_volatile_metric_key,
+)
 from repro.sim.metrics import ComponentInterval, IntervalRecord, SimulationResult
+from repro.sim.parity import ParityReport, diff_results, diff_snapshots, run_engine_parity
 from repro.sim.queueing import (
     StationInterval,
     latency_inflation,
@@ -21,7 +28,12 @@ __all__ = [
     "ComponentInterval",
     "DCABundle",
     "DeploymentSpec",
+    "ENGINES",
+    "EventDrivenRunner",
+    "EventQueue",
     "IntervalRecord",
+    "ParityReport",
+    "ReplayIngestor",
     "ReplicaSpec",
     "ReplicatedApplicationRuntime",
     "ReplicatedTrace",
@@ -29,8 +41,12 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "StationInterval",
+    "diff_results",
+    "diff_snapshots",
+    "is_volatile_metric_key",
     "latency_inflation",
     "nodes_required",
+    "run_engine_parity",
     "serve_interval",
     "utilization",
 ]

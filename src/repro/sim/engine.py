@@ -23,6 +23,7 @@ the true causal structure of the application.
 
 from __future__ import annotations
 
+import math
 import random as _random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -53,12 +54,16 @@ from repro.telemetry import MetricsRegistry, get_registry
 from repro.tracing.htrace import HTraceCollector
 from repro.workloads.generator import WorkloadGenerator
 
-#: Length of one simulation step.  The engine ticks in whole minutes
-#: (``run`` iterates ``float(tick)``), and every per-minute rate in
+#: Default length of one simulation interval.  Every per-minute rate in
 #: :class:`SimulationConfig` is converted to a per-interval probability
-#: through this constant — change the tick length and the conversion in
-#: :meth:`ClusterSimulator._inject_failures` stays correct.
+#: through the *configured* ``interval_minutes`` (see
+#: :meth:`ClusterSimulator._inject_failures`), so non-unit intervals stay
+#: statistically correct.
 INTERVAL_MINUTES = 1.0
+
+#: The two run-loop implementations: the fixed-tick oracle and the
+#: discrete-event engine (:mod:`repro.sim.events`).
+ENGINES = ("tick", "event")
 
 
 @dataclass
@@ -76,6 +81,14 @@ class SimulationConfig:
     max_live_traces_per_class: int = 1
     node_failure_rate_per_min: float = 0.0
     failure_seed: int = 0
+    #: Which run loop drives the simulation: the fixed-tick oracle or the
+    #: discrete-event engine.  Both produce bit-identical results (the
+    #: ``engine-parity`` CI job enforces it); the event engine is the
+    #: fast path.
+    engine: str = "tick"
+    #: Length of one observation interval in simulated minutes.  All
+    #: per-minute rates are converted through this value.
+    interval_minutes: float = INTERVAL_MINUTES
 
     def __post_init__(self) -> None:
         if self.duration_minutes < 1:
@@ -86,11 +99,24 @@ class SimulationConfig:
             )
         if not 0.0 <= self.node_failure_rate_per_min < 1.0:
             # The rate is *per minute*; the engine derives the per-interval
-            # probability from INTERVAL_MINUTES (p = 1 - (1 - rate)^len),
+            # probability from interval_minutes (p = 1 - (1 - rate)^len),
             # so the two coincide only while intervals are one minute long.
             raise SimulationError(
                 f"node_failure_rate_per_min must be in [0, 1), got {self.node_failure_rate_per_min}"
             )
+        if self.engine not in ENGINES:
+            raise SimulationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.interval_minutes <= 0:
+            raise SimulationError(
+                f"interval_minutes must be > 0, got {self.interval_minutes}"
+            )
+
+    @property
+    def num_intervals(self) -> int:
+        """Observation intervals covering ``[0, duration_minutes)``."""
+        return max(1, int(math.ceil(self.duration_minutes / self.interval_minutes)))
 
 
 @dataclass
@@ -243,6 +269,9 @@ class ClusterSimulator:
         self._recent_totals: List[float] = []
         self._failure_rng = _random.Random(self.config.failure_seed * 1_000_003 + 17)
         self.nodes_failed_total = 0
+        # Clock of the last random-failure roll; the first interval's
+        # exposure window is one full interval, exactly as before.
+        self._last_failure_roll = -self.config.interval_minutes
         self._sla_ms = self._resolve_sla()
 
     # -- setup -----------------------------------------------------------------
@@ -276,32 +305,65 @@ class ClusterSimulator:
     # -- main loop -----------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        if self.config.engine == "event":
+            from repro.sim.events import EventDrivenRunner
+
+            runner = EventDrivenRunner(self)
+            # Kept for introspection (tests, benchmarks, CLI stats).
+            self.event_runner = runner
+            return runner.run()
         result = SimulationResult(manager_name=self.manager.name, application=self.app.name)
-        for tick in range(self.config.duration_minutes):
-            with self._step_timer:
-                record, observation = self._step(float(tick))
-                result.append(record)
-                decision = self.manager.decide(observation)
-                self.manager.on_interval_end(observation)
-                self.cluster.apply_targets(dict(decision.targets), float(tick))
-                self._infra_nodes = decision.infrastructure_nodes
-            self._m_intervals.inc()
-            self._m_requests.inc(record.external_arrivals)
-            self._m_sampled.inc(record.sampled_requests)
-            self.manager.record_decision(observation, decision)
+        interval = self.config.interval_minutes
+        for k in range(self.config.num_intervals):
+            self.run_interval(k * interval, result)
         return result
 
-    def _step(self, now: float) -> Tuple[IntervalRecord, ClusterObservation]:
+    def run_interval(
+        self,
+        now: float,
+        result: SimulationResult,
+        ingestor=None,
+        arrivals: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        """Run one full observation interval at ``now`` and record it.
+
+        This is the shared superstep of both engines: the tick loop calls
+        it at every boundary; the event engine calls it from its
+        interval-boundary events (optionally swapping the DCA
+        ``ingestor`` for its replay fast path and supplying pre-drawn
+        ``arrivals``).  Keeping one body guarantees tick/event parity by
+        construction for everything outside DCA ingestion.
+        """
+        with self._step_timer:
+            record, observation = self._step(now, ingestor=ingestor, arrivals=arrivals)
+            result.append(record)
+            decision = self.manager.decide(observation)
+            self.manager.on_interval_end(observation)
+            self.cluster.apply_targets(dict(decision.targets), now)
+            self._infra_nodes = decision.infrastructure_nodes
+        self._m_intervals.inc()
+        self._m_requests.inc(record.external_arrivals)
+        self._m_sampled.inc(record.sampled_requests)
+        self.manager.record_decision(observation, decision)
+
+    def _step(
+        self,
+        now: float,
+        ingestor=None,
+        arrivals: Optional[Mapping[str, int]] = None,
+    ) -> Tuple[IntervalRecord, ClusterObservation]:
         self.cluster.advance(now)
         if self.faults is not None:
             self.faults.advance_to(now)
             for comp, count in sorted(self.faults.node_crashes_due(now).items()):
                 self.nodes_failed_total += self.cluster.fail_component(comp, count)
-        self._inject_failures()
-        arrivals = self.generator.arrivals(now)
+        self._inject_failures(now)
+        if arrivals is None:
+            arrivals = self.generator.arrivals(now)
         total_arrivals = float(sum(arrivals.values()))
 
-        sampled_by_class = self._run_dca_tick(now, arrivals)
+        ingest = ingestor if ingestor is not None else self._run_dca_tick
+        sampled_by_class = ingest(now, arrivals)
         base_demand, overhead, comp_arrivals = self._compute_demand(arrivals, sampled_by_class)
 
         flat_overhead = self.manager.runtime_overhead_fraction()
@@ -339,7 +401,7 @@ class ClusterSimulator:
         )
         return record, observation
 
-    def _inject_failures(self) -> None:
+    def _inject_failures(self, now: float) -> None:
         """Crash ready nodes at the configured per-node-per-minute rate.
 
         Components are replicated for fault tolerance (Section II-A);
@@ -348,16 +410,20 @@ class ClusterSimulator:
         and latency.
 
         The configured rate is per *minute* but the roll happens once per
-        *interval*, so the per-roll probability is derived as the chance
-        of at least one failure within the interval,
-        ``p = 1 - (1 - rate) ** INTERVAL_MINUTES`` — identical to the raw
-        rate at the current one-minute tick, and still correct if
-        ``INTERVAL_MINUTES`` ever changes.
+        *interval*, so the per-roll probability is derived from the time
+        actually elapsed on the simulation clock since the previous roll,
+        ``p = 1 - (1 - rate) ** dt`` — identical to the raw rate under
+        the one-minute tick loop (``dt`` is then always 1.0), and still
+        correct for any ``interval_minutes`` or event schedule.
         """
         rate = self.config.node_failure_rate_per_min
         if rate <= 0:
             return
-        p = 1.0 - (1.0 - rate) ** INTERVAL_MINUTES
+        dt = now - self._last_failure_roll
+        self._last_failure_roll = now
+        if dt <= 0:
+            return
+        p = 1.0 - (1.0 - rate) ** dt
         for comp in sorted(self.cluster.groups):
             group = self.cluster.groups[comp]
             failures = sum(
@@ -385,6 +451,16 @@ class ClusterSimulator:
     # -- DCA machinery ---------------------------------------------------------------
 
     def _run_dca_tick(self, now: float, arrivals: Mapping[str, int]) -> Dict[str, int]:
+        return self._dca_tick(now, arrivals, self._ingest_class)
+
+    def _dca_tick(self, now: float, arrivals: Mapping[str, int], ingest_class) -> Dict[str, int]:
+        """Shared skeleton of one DCA interval: sampling, then ingestion.
+
+        The sampler draws happen here, in sorted-class order, so the
+        seeded sampling streams are identical no matter which
+        ``ingest_class`` strategy (live execution or the event engine's
+        converged replay) consumes the counts.
+        """
         sampled: Dict[str, int] = {}
         if self.dca is None:
             return {name: 0 for name in arrivals}
@@ -396,32 +472,35 @@ class ClusterSimulator:
             sampled[class_name] = n_sampled
             if n_sampled <= 0:
                 continue
-            request = self.generator.classes[class_name]
             live = min(n_sampled, self.config.max_live_traces_per_class)
-            last_trace: Optional[RequestTrace] = None
-            for _ in range(live):
-                last_trace = self.dca.runtime.execute_request(request, sampled=True)
-                self.dca.tracker.observe_all(last_trace.messages)
-            remainder = n_sampled - live
-            if remainder > 0 and last_trace is not None:
-                # The remaining sampled requests of this class follow the
-                # same causal path; count them without re-executing.
-                injector = self.dca.fault_injector
-                if injector is not None:
-                    # The shortcut must not hide faults from the profiler
-                    # feed: each shortcut request rolls the drop channel
-                    # once (a mesoscale stand-in for "any message of the
-                    # path was lost") and the flush-loss channel once for
-                    # its completed path.
-                    remainder = sum(
-                        1
-                        for _ in range(remainder)
-                        if not injector.should_drop_message()
-                        and not injector.should_lose_profiler_flush()
-                    )
-                if remainder > 0:
-                    self.dca.profiler.record(last_trace.signature, now, count=remainder)
+            ingest_class(class_name, live, n_sampled - live, now)
         return sampled
+
+    def _ingest_class(self, class_name: str, live: int, remainder: int, now: float) -> None:
+        """Live-execute ``live`` traces of one class; shortcut the rest."""
+        request = self.generator.classes[class_name]
+        last_trace: Optional[RequestTrace] = None
+        for _ in range(live):
+            last_trace = self.dca.runtime.execute_request(request, sampled=True)
+            self.dca.tracker.observe_all(last_trace.messages)
+        if remainder > 0 and last_trace is not None:
+            # The remaining sampled requests of this class follow the
+            # same causal path; count them without re-executing.
+            injector = self.dca.fault_injector
+            if injector is not None:
+                # The shortcut must not hide faults from the profiler
+                # feed: each shortcut request rolls the drop channel
+                # once (a mesoscale stand-in for "any message of the
+                # path was lost") and the flush-loss channel once for
+                # its completed path.
+                remainder = sum(
+                    1
+                    for _ in range(remainder)
+                    if not injector.should_drop_message()
+                    and not injector.should_lose_profiler_flush()
+                )
+            if remainder > 0:
+                self.dca.profiler.record(last_trace.signature, now, count=remainder)
 
     # -- demand & service ----------------------------------------------------------------
 

@@ -1,0 +1,557 @@
+"""The discrete-event simulation engine.
+
+The tick loop (:meth:`~repro.sim.engine.ClusterSimulator.run`) walks
+every interval boundary and re-executes every sampled request through
+the real interpreters.  That is the *oracle*: simple, obviously
+faithful, and O(duration x sampled traffic).  This module is the fast
+path: a priority queue of timestamped events — interval boundaries,
+replica start/stop completions, scheduled node crashes, fault-delayed
+message deliveries — drained in timestamp order, plus a *converged
+replay* fast path that stops re-executing a request class once its
+per-execution effects have provably stopped changing.
+
+Parity contract
+---------------
+
+For any seeded configuration, ``engine="event"`` must produce results
+**bit-identical** to ``engine="tick"``: the same ``IntervalRecord``
+stream, the same telemetry snapshot (modulo the volatile keys below),
+the same fault/recovery counters.  CI's ``engine-parity`` job enforces
+this on every scenario.  The design rules that make it hold:
+
+* Both engines share one superstep
+  (:meth:`~repro.sim.engine.ClusterSimulator.run_interval`), so
+  everything outside DCA ingestion is identical by construction.
+* Arrivals are pre-drawn with the exact scalar RNG calls of the tick
+  loop (:meth:`~repro.workloads.generator.WorkloadGenerator.arrivals_series`).
+* Every fault channel draws from its own seeded RNG stream, so events
+  that only touch disjoint channels may be reordered freely; events on
+  the *same* channel keep their tick-relative order.
+* Mid-interval events whose effects the tick loop would only apply at
+  the next boundary — scheduled node crashes batched by
+  ``node_crashes_due`` and fault-delayed deliveries performed by
+  ``advance_to`` — are *snapped up* to that boundary, with a queue
+  priority that reproduces the tick loop's intra-boundary order.
+* Replica start/stop completions fire at their exact ETA; nothing reads
+  cluster state between boundaries, so early maturation is unobservable.
+
+Volatile telemetry keys — excluded from parity comparison *and* from
+replay capture:
+
+* keys whose base name ends in ``_seconds``: wall-clock timer
+  histograms; they measure the host, not the simulation;
+* ``graphstore.cross_partition_edges``: a uid-hash *layout* diagnostic
+  whose value depends on stale provenance uids retained by capped
+  per-node cause sets — it varies a few counts per execution forever
+  and cannot converge by design.
+
+Converged replay
+----------------
+
+During warmup every live trace of every class is executed for real
+while the engine records (a) the per-execution telemetry delta
+(captured by diffing the registry around the execution) and (b) the
+trace's uid-free
+:meth:`~repro.sim.runtime.RequestTrace.structural_fingerprint`.
+Cutover is **global and atomic**: only once *every* active class has
+shown :data:`REPLAY_CONVERGENCE_STREAK` consecutive executions with an
+identical delta *and* fingerprint does the engine freeze them all.
+Per-class cutover would be unsound — request classes share replica
+state (uid factories, provenance taints, component caches), so
+skipping one class's executions perturbs the traces of classes still
+executing.  Until the global cutover the event engine's ingestion is
+*exactly* the tick loop's; after it, each "execution" applies the
+frozen delta directly (counter increments, gauge sets, histogram
+bucket merges — all integral, so float sums stay exact) and feeds the
+profiler through the same
+:meth:`~repro.profiling.profiler.CausalPathProfiler.record` call the
+tick loop makes.  The streak is deliberately long: measured workloads
+show per-class transients of up to 30 executions (capped provenance
+sets filling) before the per-execution effects settle, so the
+threshold must comfortably exceed them.
+
+Replay is only eligible when ingestion is pure counting — no fault
+injector, no path timeout, no write batching, no sharded store
+(:attr:`~repro.core.causal_graph.DirectCausalityTracker.supports_snapshot_replay`).
+Ineligible configurations still run under the event engine, with
+full-fidelity ingestion that is literally the tick loop's code.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from itertools import count as _counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.metrics import SimulationResult
+
+# -- intra-timestamp event priorities -----------------------------------------
+#
+# Events at the same timestamp drain in priority order; the order mirrors
+# the tick loop's intra-boundary sequence (cluster.advance, then node
+# crashes, then delayed deliveries inside tracker.advance_to, then the
+# interval body).
+
+P_CLUSTER_TRANSITION = 0
+P_NODE_CRASH = 1
+P_DELAYED_DELIVERY = 2
+P_INTERVAL = 3
+
+#: Consecutive identical (delta, fingerprint) executions required before
+#: a class cuts over to replay.  Must exceed the longest false plateau
+#: observed in the scenario suite (15) with generous margin.
+REPLAY_CONVERGENCE_STREAK = 48
+
+#: Registry keys excluded from parity comparison and replay capture
+#: (see module docstring for why).
+VOLATILE_METRIC_KEYS = frozenset({"graphstore.cross_partition_edges"})
+VOLATILE_METRIC_SUFFIX = "_seconds"
+
+#: Metric base names the profiler maintains itself during replay (the
+#: frozen delta must not double-count them).
+_PROFILER_LIVE_KEYS = frozenset({"profiler.recordings", "profiler.path_completions"})
+
+
+def metric_base_name(key: str) -> str:
+    """Strip the label suffix from a rendered registry key."""
+    return key.split("{", 1)[0]
+
+
+def is_volatile_metric_key(key: str) -> bool:
+    """Whether ``key`` is excluded from the tick/event parity contract."""
+    base = metric_base_name(key)
+    return base.endswith(VOLATILE_METRIC_SUFFIX) or base in VOLATILE_METRIC_KEYS
+
+
+class EventQueue:
+    """Min-heap of timestamped events with a deterministic tiebreak.
+
+    Events order by ``(time, priority, seq)``: ``seq`` is a monotonically
+    increasing insertion counter, so events equal in time and priority
+    drain in insertion order and the schedule is fully deterministic —
+    payloads are never compared.
+    """
+
+    __slots__ = ("_heap", "_seq", "pushed")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, str, object]] = []
+        self._seq = _counter()
+        self.pushed = 0
+
+    def push(self, time: float, priority: int, kind: str, data: object = None) -> None:
+        heappush(self._heap, (float(time), int(priority), next(self._seq), kind, data))
+        self.pushed += 1
+
+    def pop(self) -> Optional[Tuple[float, int, int, str, object]]:
+        if not self._heap:
+            return None
+        return heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+# -- telemetry capture for converged replay -----------------------------------
+
+
+def _capture(registry) -> Dict[str, tuple]:
+    """Comparable snapshot of every non-volatile instrument's state."""
+    state: Dict[str, tuple] = {}
+    for metric in registry:
+        key = metric.key
+        if is_volatile_metric_key(key):
+            continue
+        kind = metric.kind
+        if kind == "counter":
+            state[key] = ("c", metric.value)
+        elif kind == "gauge":
+            state[key] = ("g", metric.value)
+        elif kind == "histogram":
+            state[key] = (
+                "h",
+                metric.count,
+                metric.sum,
+                metric.bucket_counts,
+                metric._min,
+                metric._max,
+            )
+    return state
+
+
+def _delta(before: Dict[str, tuple], after: Dict[str, tuple]) -> Dict[str, tuple]:
+    """What one execution changed, as a comparable per-key mapping.
+
+    Counters diff by amount; gauges record the post-value (only when it
+    moved); histograms diff count/sum/buckets and record the post
+    min/max.  Instruments created *during* the execution diff against
+    that kind's zero state.
+    """
+    diff: Dict[str, tuple] = {}
+    for key, post in after.items():
+        prev = before.get(key)
+        kind = post[0]
+        if kind == "c":
+            base = prev[1] if prev is not None else 0.0
+            if post[1] != base:
+                diff[key] = ("c", post[1] - base)
+        elif kind == "g":
+            base = prev[1] if prev is not None else 0.0
+            if post[1] != base:
+                diff[key] = ("g", post[1])
+        elif kind == "h":
+            if prev is None:
+                prev = ("h", 0, 0.0, (0,) * len(post[3]), None, None)
+            dcount = post[1] - prev[1]
+            dsum = post[2] - prev[2]
+            dbuckets = tuple(a - b for a, b in zip(post[3], prev[3]))
+            if dcount or dsum or any(dbuckets) or post[4:] != prev[4:]:
+                diff[key] = ("h", dcount, dsum, dbuckets, post[4], post[5])
+    return diff
+
+
+class _ClassReplayState:
+    """Per-request-class convergence tracking and frozen replay ops."""
+
+    __slots__ = (
+        "reference_delta",
+        "reference_fingerprint",
+        "reference_records_key",
+        "streak",
+        "executions",
+        "last_trace",
+        "record_ops",
+        "signature",
+        "counter_ops",
+        "gauge_ops",
+        "histogram_ops",
+    )
+
+    def __init__(self) -> None:
+        self.reference_delta: Optional[Dict[str, tuple]] = None
+        self.reference_fingerprint: Optional[tuple] = None
+        self.reference_records_key: Optional[tuple] = None
+        self.streak = 0
+        self.executions = 0
+        self.last_trace = None
+        #: The profiler.record calls one execution makes: [(signature,
+        #: count), ...].  Not necessarily just this class's own path —
+        #: stale cross-trace cause edges can complete *other* request
+        #: types' graphs during this class's ingestion; replay must
+        #: reproduce those completions exactly.
+        self.record_ops: List[tuple] = []
+        self.signature = None
+        self.counter_ops: List[tuple] = []
+        self.gauge_ops: List[tuple] = []
+        self.histogram_ops: List[tuple] = []
+
+    @property
+    def converged(self) -> bool:
+        return self.streak >= REPLAY_CONVERGENCE_STREAK
+
+    def note(
+        self,
+        delta: Dict[str, tuple],
+        fingerprint: tuple,
+        trace,
+        record_ops: List[tuple],
+    ) -> None:
+        self.executions += 1
+        self.last_trace = trace
+        records_key = tuple(
+            (sig.request_type, sig.edges, count) for sig, count in record_ops
+        )
+        if (
+            delta == self.reference_delta
+            and fingerprint == self.reference_fingerprint
+            and records_key == self.reference_records_key
+        ):
+            self.streak += 1
+        else:
+            self.reference_delta = delta
+            self.reference_fingerprint = fingerprint
+            self.reference_records_key = records_key
+            self.record_ops = list(record_ops)
+            self.streak = 1
+
+
+class ReplayIngestor:
+    """DCA ingestion with the converged-replay fast path.
+
+    Drop-in replacement for the simulator's live ``ingest_class``
+    strategy: sampling draws and the per-class loop skeleton stay in
+    :meth:`~repro.sim.engine.ClusterSimulator._dca_tick`, so the seeded
+    sampler streams are untouched; only the per-execution work is
+    swapped once *every* active class has converged (the cutover is
+    atomic — see the module docstring).
+
+    ``active_classes`` is the set of class names with any arrivals in
+    the run's schedule; classes that never receive traffic cannot
+    execute in either engine and must not block the cutover.
+    """
+
+    def __init__(self, sim, active_classes=None) -> None:
+        if sim.dca is None:
+            raise ValueError("ReplayIngestor requires a DCA bundle")
+        if sim.faults is not None or sim.dca.fault_injector is not None:
+            raise ValueError("ReplayIngestor requires a fault-free configuration")
+        if not sim.dca.tracker.supports_snapshot_replay:
+            raise ValueError("tracker configuration does not support snapshot replay")
+        self.sim = sim
+        self.registry = sim.telemetry
+        if active_classes is None:
+            active_classes = set(sim.generator.classes)
+        self.states: Dict[str, _ClassReplayState] = {
+            name: _ClassReplayState() for name in sorted(active_classes)
+        }
+        self.replaying = False
+        self.cutover_minute: Optional[float] = None
+        self.replayed_executions = 0
+        self.live_executions = 0
+
+    # -- entry point (same signature as ClusterSimulator._run_dca_tick) --------
+
+    def ingest(self, now: float, arrivals) -> Dict[str, int]:
+        sampled = self.sim._dca_tick(now, arrivals, self._ingest_class)
+        if not self.replaying and all(s.converged for s in self.states.values()):
+            self._freeze_all(now)
+        return sampled
+
+    # -- per-class strategies ---------------------------------------------------
+
+    def _ingest_class(self, class_name: str, live: int, remainder: int, now: float) -> None:
+        state = self.states[class_name]
+        if self.replaying:
+            self._apply(state, live, remainder, now)
+        else:
+            self._warm(class_name, state, live, remainder, now)
+
+    def _warm(
+        self,
+        class_name: str,
+        state: _ClassReplayState,
+        live: int,
+        remainder: int,
+        now: float,
+    ) -> None:
+        """Execute for real (exactly the tick loop), recording deltas."""
+        sim = self.sim
+        request = sim.generator.classes[class_name]
+        profiler = sim.dca.profiler
+        last_trace = None
+        before = _capture(self.registry)
+        for _ in range(live):
+            # Spy on the profiler so the frozen state knows exactly
+            # which path completions one execution produces (including
+            # cross-trace completions of other request types).
+            record_ops: List[tuple] = []
+            original_record = profiler.record
+            def recording_spy(signature, time_minutes, count=1, _orig=original_record, _ops=record_ops):
+                _ops.append((signature, count))
+                return _orig(signature, time_minutes, count=count)
+            profiler.record = recording_spy
+            try:
+                last_trace = sim.dca.runtime.execute_request(request, sampled=True)
+                sim.dca.tracker.observe_all(last_trace.messages)
+            finally:
+                profiler.record = original_record
+            after = _capture(self.registry)
+            state.note(
+                _delta(before, after),
+                last_trace.structural_fingerprint(),
+                last_trace,
+                record_ops,
+            )
+            before = after
+        self.live_executions += live
+        if remainder > 0 and last_trace is not None:
+            # Same shortcut as the tick loop (no injector by construction).
+            sim.dca.profiler.record(last_trace.signature, now, count=remainder)
+
+    def _freeze_all(self, now: float) -> None:
+        """Atomic cutover: turn every class's stable delta into direct ops."""
+        by_key = {metric.key: metric for metric in self.registry}
+        for state in self.states.values():
+            if state.last_trace is None:
+                # Converged vacuously (no arrivals yet scheduled this
+                # far); an active class always executes before cutover
+                # because its streak can only grow by executing.
+                raise RuntimeError("cannot freeze a class that never executed")
+            for key, entry in sorted(state.reference_delta.items()):
+                if metric_base_name(key) in _PROFILER_LIVE_KEYS:
+                    continue  # profiler.record maintains these live
+                metric = by_key[key]
+                if entry[0] == "c":
+                    state.counter_ops.append((metric, entry[1]))
+                elif entry[0] == "g":
+                    state.gauge_ops.append((metric, entry[1]))
+                else:
+                    _, dcount, dsum, dbuckets, post_min, post_max = entry
+                    merge_data = {
+                        "count": dcount,
+                        "sum": dsum,
+                        "min": post_min,
+                        "max": post_max,
+                        "buckets": {
+                            str(bound): dbuckets[i]
+                            for i, bound in enumerate(metric.bounds)
+                        },
+                    }
+                    merge_data["buckets"]["+Inf"] = dbuckets[-1]
+                    state.histogram_ops.append((metric, merge_data))
+            state.signature = state.last_trace.signature
+        self.replaying = True
+        self.cutover_minute = now
+
+    def _apply(self, state: _ClassReplayState, live: int, remainder: int, now: float) -> None:
+        """Replay ``live`` executions' worth of frozen effects."""
+        for metric, amount in state.counter_ops:
+            metric.inc(amount * live)
+        for metric, value in state.gauge_ops:
+            metric.set(value)
+        # Histograms merge once per replayed execution so count/sum
+        # accumulate through the same sequence of adds as live
+        # execution (all replayed observations are integral, so the
+        # float sums agree exactly).
+        for _ in range(live):
+            for metric, merge_data in state.histogram_ops:
+                metric.merge(merge_data)
+        self.replayed_executions += live
+        # Path completions go through the real profiler so its window
+        # buckets (the DCA managers' decision input) stay live; counts
+        # batch across the replayed executions (buckets are additive).
+        profiler = self.sim.dca.profiler
+        for signature, count in state.record_ops:
+            profiler.record(signature, now, count=count * live)
+        if remainder > 0:
+            # The tick loop's shortcut: remaining sampled requests of
+            # the class follow the last live trace's path.
+            profiler.record(state.signature, now, count=remainder)
+
+
+class EventDrivenRunner:
+    """Drains the event queue for one simulation run.
+
+    Built by :meth:`ClusterSimulator.run` when ``config.engine`` is
+    ``"event"``; owns the queue, the follow-up scheduling rules, and the
+    optional replay ingestor.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.queue = EventQueue()
+        self.events_processed: Dict[str, int] = {
+            "interval": 0,
+            "cluster-transition": 0,
+            "node-crash": 0,
+            "delayed-delivery": 0,
+        }
+        self._transition_times: set = set()
+        self._delivery_times: set = set()
+        #: Built lazily in :meth:`run` once the arrival schedule (and
+        #: with it the set of classes that ever receive traffic) is known.
+        self.ingestor: Optional[ReplayIngestor] = None
+        self._replay_eligible = (
+            sim.dca is not None
+            and sim.faults is None
+            and sim.dca.fault_injector is None
+            and sim.dca.tracker.supports_snapshot_replay
+        )
+
+    # -- boundary snapping ------------------------------------------------------
+
+    def _snap_up(self, t: float) -> float:
+        """First interval boundary at or after ``t`` (clamped at 0)."""
+        interval = self.sim.config.interval_minutes
+        k = math.ceil(t / interval - 1e-9)
+        return max(0.0, k * interval)
+
+    # -- run loop ---------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        sim = self.sim
+        cfg = sim.config
+        result = SimulationResult(manager_name=sim.manager.name, application=sim.app.name)
+        interval = cfg.interval_minutes
+        n = cfg.num_intervals
+        horizon = (n - 1) * interval
+        boundaries = [k * interval for k in range(n)]
+        arrivals = sim.generator.arrivals_series(boundaries)
+        if self._replay_eligible:
+            active = {
+                name
+                for per_interval in arrivals
+                for name, arrived in per_interval.items()
+                if arrived > 0
+            }
+            self.ingestor = ReplayIngestor(sim, active_classes=active)
+        for k, t in enumerate(boundaries):
+            self.queue.push(t, P_INTERVAL, "interval", k)
+        if sim.faults is not None:
+            # Scheduled crashes batch at the boundary the tick loop would
+            # consume them at, preserving the tick's mature-then-crash
+            # order against in-flight provisioning.
+            crash_boundaries = []
+            for minute in sim.faults.pending_crash_minutes():
+                t = self._snap_up(minute)
+                if t <= horizon and (not crash_boundaries or t != crash_boundaries[-1]):
+                    crash_boundaries.append(t)
+                    self.queue.push(t, P_NODE_CRASH, "node-crash", None)
+        ingest = self.ingestor.ingest if self.ingestor is not None else None
+        while True:
+            event = self.queue.pop()
+            if event is None:
+                break
+            time_, _priority, _seq, kind, data = event
+            self.events_processed[kind] += 1
+            if kind == "interval":
+                sim.run_interval(time_, result, ingestor=ingest, arrivals=arrivals[data])
+                self._schedule_followups(time_, horizon)
+            elif kind == "cluster-transition":
+                sim.cluster.advance(time_)
+            elif kind == "node-crash":
+                sim.faults.advance_to(time_)
+                for comp, crashed in sorted(sim.faults.node_crashes_due(time_).items()):
+                    sim.nodes_failed_total += sim.cluster.fail_component(comp, crashed)
+            elif kind == "delayed-delivery":
+                # Window state must match what the boundary will see
+                # before any delivered message is (re)processed.
+                if sim.faults is not None:
+                    sim.faults.advance_to(time_)
+                sim.dca.tracker.deliver_delayed(time_)
+                self._schedule_delivery(time_, horizon)
+        return result
+
+    # -- follow-up scheduling ---------------------------------------------------
+
+    def _schedule_followups(self, now: float, horizon: float) -> None:
+        # Replica start/stop completions mature at their exact ETA;
+        # nothing observes cluster state between boundaries, so firing
+        # early relative to the tick loop's boundary poll is invisible.
+        for eta in self.sim.cluster.pending_transition_times():
+            if now < eta <= horizon and eta not in self._transition_times:
+                self._transition_times.add(eta)
+                self.queue.push(eta, P_CLUSTER_TRANSITION, "cluster-transition", None)
+        self._schedule_delivery(now, horizon)
+
+    def _schedule_delivery(self, now: float, horizon: float) -> None:
+        if self.sim.dca is None:
+            return
+        eta = self.sim.dca.tracker.next_delayed_due_minutes()
+        if eta is None:
+            return
+        # The tick loop delivers at the first boundary *after* the
+        # enqueueing one whose time has reached the due time.
+        t = self._snap_up(eta)
+        if t <= now:
+            t = now + self.sim.config.interval_minutes
+        if t <= horizon and t not in self._delivery_times:
+            self._delivery_times.add(t)
+            self.queue.push(t, P_DELAYED_DELIVERY, "delayed-delivery", None)

@@ -12,6 +12,14 @@ hashing a payload field (partitioned/sharded components).
 The mesoscale simulator keeps modelling replica groups by capacity; this
 runtime exists to *observe* replica-level phenomena — hot-shard
 concentration, per-replica provenance isolation — at message resolution.
+
+Replica state (round-robin cursors, per-replica interpreter state, uid
+factories) is shared by every request class executing through the
+runtime.  The event engine's converged-replay ingestion
+(:mod:`repro.sim.events`) relies on this: because one class's execution
+advances state that other classes observe, replay must cut over
+*atomically for all classes at once* — per-class cutover would perturb
+the still-live classes and break tick parity.
 """
 
 from __future__ import annotations

@@ -46,6 +46,22 @@ class RequestTrace:
     def total_messages(self) -> int:
         return len(self.messages)
 
+    def structural_fingerprint(self) -> Tuple:
+        """Uid-free shape of the execution, for convergence detection.
+
+        Two executions of a class with the same fingerprint emitted the
+        same message types between the same endpoints with the same
+        cause-set sizes — the event engine requires a run of identical
+        fingerprints (alongside identical telemetry deltas) before it
+        cuts a class over to converged replay.  Uid *values* are
+        deliberately excluded: stale provenance uids vary per execution
+        even after the structure has converged.
+        """
+        return tuple(
+            (m.msg_type, m.src, m.dest, len(m.cause_uids), m.sampled)
+            for m in self.messages
+        )
+
 
 class ApplicationRuntime:
     """Executes requests against (optionally DCA-instrumented) components.

@@ -220,6 +220,11 @@ class Histogram(Metric):
         return self._sum
 
     @property
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Read-only bucket tallies, in ``bounds`` order, overflow last."""
+        return tuple(self._bucket_counts)
+
+    @property
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 

@@ -1,0 +1,77 @@
+"""EventQueue ordering semantics: the event engine's determinism root."""
+
+from repro.sim.events import (
+    P_CLUSTER_TRANSITION,
+    P_DELAYED_DELIVERY,
+    P_INTERVAL,
+    P_NODE_CRASH,
+    EventQueue,
+)
+
+
+def drain(queue):
+    out = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        out.append(event)
+    return out
+
+
+class TestEventQueue:
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert len(q) == 0
+        assert not q
+
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, P_INTERVAL, "interval", 3)
+        q.push(1.0, P_INTERVAL, "interval", 1)
+        q.push(2.0, P_INTERVAL, "interval", 2)
+        assert [e[0] for e in drain(q)] == [1.0, 2.0, 3.0]
+
+    def test_priority_breaks_time_ties(self):
+        """Same-timestamp events drain in the tick loop's intra-step order."""
+        q = EventQueue()
+        q.push(5.0, P_INTERVAL, "interval", None)
+        q.push(5.0, P_DELAYED_DELIVERY, "delayed-delivery", None)
+        q.push(5.0, P_CLUSTER_TRANSITION, "cluster-transition", None)
+        q.push(5.0, P_NODE_CRASH, "node-crash", None)
+        kinds = [e[3] for e in drain(q)]
+        assert kinds == [
+            "cluster-transition",
+            "node-crash",
+            "delayed-delivery",
+            "interval",
+        ]
+
+    def test_insertion_order_breaks_full_ties(self):
+        """Equal (time, priority) events drain in insertion order."""
+        q = EventQueue()
+        for i in range(20):
+            q.push(1.0, P_INTERVAL, "interval", i)
+        assert [e[4] for e in drain(q)] == list(range(20))
+
+    def test_payloads_never_compared(self):
+        """Unorderable payloads must not break the heap (seq breaks ties)."""
+        q = EventQueue()
+        q.push(1.0, P_INTERVAL, "interval", {"a": 1})
+        q.push(1.0, P_INTERVAL, "interval", {"b": 2})
+        q.push(1.0, P_INTERVAL, "interval", None)
+        assert [e[4] for e in drain(q)] == [{"a": 1}, {"b": 2}, None]
+
+    def test_peek_and_counts(self):
+        q = EventQueue()
+        q.push(2.0, P_INTERVAL, "interval", None)
+        q.push(1.0, P_NODE_CRASH, "node-crash", None)
+        assert q.peek_time() == 1.0
+        assert len(q) == 2
+        assert q.pushed == 2
+        assert q
+        q.pop()
+        q.pop()
+        assert q.pushed == 2  # lifetime counter, not current size
