@@ -1,0 +1,242 @@
+"""Sketch-tier profiler gates: read throughput, memory scaling, ε bound.
+
+Synthetic Zipf traffic over 10k–20k causal paths (the "million-path"
+regime scaled to CI budgets) drives three gated claims:
+
+* the optimised ``exact`` read (running window totals) is ≥2x the
+  pre-PR O(paths × window) scan, retained as
+  ``CausalPathProfiler._scan_counts`` — measured ~18x;
+* the ``topk`` sketch read also beats the pre-PR scan once the window
+  is loaded (≥8 buckets/path on average) — measured ~2x, gated at 1.5x
+  for CI jitter;
+* sketch memory is O(k): near-flat when the path population doubles
+  (gated ≤1.3x, measured ~1.1x) and well under the exact tier's
+  bucket state (gated ≤0.7x, measured ~0.55x);
+* measured hot-path probability error stays ≤ the documented ε
+  (:data:`HOT_PATH_PROBABILITY_EPSILON`).
+
+The wall times land in ``BENCH_profiler_sketch.json`` and feed the
+regression gate alongside the other benchmark files.
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.paths import signature_from_edges
+from repro.evalx.reporting import format_table
+from repro.lang.ir import CLIENT, EXTERNAL
+from repro.profiling.profiler import CausalPathProfiler
+from repro.profiling.sketches import HOT_PATH_PROBABILITY_EPSILON
+from repro.telemetry import MetricsRegistry
+
+N_PATHS = 12_000
+N_RECORDS = 240_000
+ZIPF_EXPONENT = 1.05
+STREAM_MINUTES = 90.0
+TOPK_K = 128
+SEED = 7
+READS = 10
+
+MIN_EXACT_SPEEDUP = 2.0
+MIN_TOPK_SPEEDUP = 1.5
+MAX_MEMORY_SCALING = 1.3
+MAX_SKETCH_TO_EXACT = 0.7
+HOT_PATHS_CHECKED = 20
+
+
+def _make_paths(n):
+    return [
+        signature_from_edges(
+            f"rt{i % 40}",
+            ((EXTERNAL, f"rt{i % 40}", "A"), ("A", f"m{i}", "B"), ("B", "done", CLIENT)),
+        )
+        for i in range(n)
+    ]
+
+
+def _zipf_draws(n_paths, n_records, seed):
+    ranks = np.arange(1, n_paths + 1, dtype=float)
+    p = 1.0 / ranks**ZIPF_EXPONENT
+    p /= p.sum()
+    rng = np.random.default_rng(seed)
+    return rng.choice(n_paths, size=n_records, p=p)
+
+
+def _build(n_paths, n_records, mode):
+    paths = _make_paths(n_paths)
+    by_request = {}
+    for sig in paths:
+        by_request.setdefault(sig.request_type, []).append(sig)
+    profiler = CausalPathProfiler(
+        by_request,
+        window_minutes=60.0,
+        registry=MetricsRegistry(),
+        mode=mode,
+        topk=TOPK_K,
+    )
+    for i, idx in enumerate(_zipf_draws(n_paths, n_records, SEED)):
+        profiler.record(paths[int(idx)], STREAM_MINUTES * i / n_records)
+    return profiler
+
+
+def _read_seconds(fn, now):
+    start = time.perf_counter()
+    for _ in range(READS):
+        out = fn(now)
+    return (time.perf_counter() - start) / READS, out
+
+
+def _deep_size(obj, seen=None):
+    """Recursive ``getsizeof`` over dicts/sequences/slotted objects."""
+    if seen is None:
+        seen = set()
+    oid = id(obj)
+    if oid in seen:
+        return 0
+    seen.add(oid)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += _deep_size(key, seen) + _deep_size(value, seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += _deep_size(item, seen)
+    elif hasattr(obj, "__slots__"):
+        for slot in obj.__slots__:
+            if hasattr(obj, slot):
+                size += _deep_size(getattr(obj, slot), seen)
+    elif hasattr(obj, "__dict__"):
+        size += _deep_size(obj.__dict__, seen)
+    return size
+
+
+def _exact_state_bytes(profiler):
+    """The exact tier's windowed count state (what the sketch replaces)."""
+    return sum(
+        _deep_size(part)
+        for part in (
+            profiler._buckets,
+            profiler._totals,
+            profiler._epoch_pids,
+            profiler._epoch_heap,
+            profiler._sample_epochs,
+        )
+    )
+
+
+def test_bench_counts_read_throughput(benchmark):
+    """Optimised exact + topk reads vs the pre-PR scan, plus the ε check."""
+
+    def measure():
+        exact = _build(N_PATHS, N_RECORDS, "exact")
+        topk = _build(N_PATHS, N_RECORDS, "topk")
+        now = STREAM_MINUTES
+        scan_seconds, reference = _read_seconds(exact._scan_counts, now)
+        exact_seconds, optimised = _read_seconds(exact.counts, now)
+        topk_seconds, estimates = _read_seconds(topk.counts, now)
+        assert optimised == reference, "optimised exact read diverged from scan"
+        return {
+            "scan_seconds": scan_seconds,
+            "exact_seconds": exact_seconds,
+            "topk_seconds": topk_seconds,
+            "reference": reference,
+            "estimates": estimates,
+            "evictions": topk.sketch_evictions,
+        }
+
+    out = run_once(benchmark, measure)
+
+    exact_speedup = out["scan_seconds"] / out["exact_seconds"]
+    topk_speedup = out["scan_seconds"] / out["topk_seconds"]
+    reference, estimates = out["reference"], out["estimates"]
+    n_exact = sum(reference.values())
+    n_topk = sum(estimates.values())
+    hot = sorted(reference, key=lambda pid: (-reference[pid], pid))[:HOT_PATHS_CHECKED]
+    hot_error = max(
+        abs(estimates[pid] / n_topk - reference[pid] / n_exact) for pid in hot
+    )
+
+    benchmark.extra_info["paths"] = N_PATHS
+    benchmark.extra_info["records"] = N_RECORDS
+    benchmark.extra_info["scan_ms"] = round(out["scan_seconds"] * 1e3, 3)
+    benchmark.extra_info["exact_ms"] = round(out["exact_seconds"] * 1e3, 3)
+    benchmark.extra_info["topk_ms"] = round(out["topk_seconds"] * 1e3, 3)
+    benchmark.extra_info["exact_speedup"] = round(exact_speedup, 2)
+    benchmark.extra_info["topk_speedup"] = round(topk_speedup, 2)
+    benchmark.extra_info["hot_path_error"] = round(hot_error, 5)
+    benchmark.extra_info["sketch_evictions"] = out["evictions"]
+
+    print()
+    print(
+        format_table(
+            ["read path", "ms/read", "speedup vs scan"],
+            [
+                ["pre-PR scan", f"{out['scan_seconds'] * 1e3:.2f}", "1.0x"],
+                ["exact (running totals)", f"{out['exact_seconds'] * 1e3:.2f}",
+                 f"{exact_speedup:.1f}x"],
+                ["topk (sketch)", f"{out['topk_seconds'] * 1e3:.2f}",
+                 f"{topk_speedup:.1f}x"],
+            ],
+        )
+    )
+    print(f"hot-path probability error: {hot_error:.5f} (ε = {HOT_PATH_PROBABILITY_EPSILON})")
+
+    assert exact_speedup >= MIN_EXACT_SPEEDUP, (
+        f"exact counts() only {exact_speedup:.2f}x over the pre-PR scan at "
+        f"{N_PATHS} paths (need {MIN_EXACT_SPEEDUP}x)"
+    )
+    assert topk_speedup >= MIN_TOPK_SPEEDUP, (
+        f"topk counts() only {topk_speedup:.2f}x over the pre-PR scan at "
+        f"{N_PATHS} paths (need {MIN_TOPK_SPEEDUP}x)"
+    )
+    assert n_topk >= n_exact, "estimate sum lost mass vs the exact total"
+    assert hot_error <= HOT_PATH_PROBABILITY_EPSILON, (
+        f"hot-path probability error {hot_error:.4f} exceeds the documented "
+        f"ε = {HOT_PATH_PROBABILITY_EPSILON}"
+    )
+
+
+def test_bench_sketch_memory_scaling(benchmark):
+    """Sketch state must be O(k): flat in paths, well under exact buckets."""
+
+    def measure():
+        sizes = {}
+        for n_paths in (10_000, 20_000):
+            exact = _build(n_paths, 120_000, "exact")
+            topk = _build(n_paths, 120_000, "topk")
+            topk.counts(STREAM_MINUTES)
+            sizes[n_paths] = {
+                "exact": _exact_state_bytes(exact),
+                "sketch": _deep_size(topk._sketch),
+            }
+        return sizes
+
+    sizes = run_once(benchmark, measure)
+
+    scaling = sizes[20_000]["sketch"] / sizes[10_000]["sketch"]
+    ratio = sizes[10_000]["sketch"] / sizes[10_000]["exact"]
+    rows = []
+    for n_paths, entry in sorted(sizes.items()):
+        rows.append(
+            [f"{n_paths}", f"{entry['exact'] / 1e6:.2f} MB", f"{entry['sketch'] / 1e6:.2f} MB"]
+        )
+        benchmark.extra_info[f"exact_bytes_{n_paths}"] = entry["exact"]
+        benchmark.extra_info[f"sketch_bytes_{n_paths}"] = entry["sketch"]
+    benchmark.extra_info["sketch_scaling_2x_paths"] = round(scaling, 3)
+    benchmark.extra_info["sketch_to_exact_ratio"] = round(ratio, 3)
+
+    print()
+    print(format_table(["paths", "exact state", "sketch state"], rows))
+    print(f"sketch scaling 10k→20k paths: {scaling:.2f}x; sketch/exact: {ratio:.2f}")
+
+    assert scaling <= MAX_MEMORY_SCALING, (
+        f"sketch memory grew {scaling:.2f}x when paths doubled "
+        f"(need ≤{MAX_MEMORY_SCALING}x for the O(k) claim)"
+    )
+    assert ratio <= MAX_SKETCH_TO_EXACT, (
+        f"sketch state is {ratio:.2f}x the exact bucket state "
+        f"(need ≤{MAX_SKETCH_TO_EXACT}x)"
+    )

@@ -61,6 +61,7 @@ BENCH_FILES = (
     "benchmarks/bench_shard_pipeline.py",
     "benchmarks/bench_event_engine.py",
     "benchmarks/bench_robustness_seeds.py::test_bench_fault_matrix_graceful_degradation",
+    "benchmarks/bench_profiler_sketch.py",
 )
 
 #: Calibration can scale the allowance by at most this factor either

@@ -28,6 +28,8 @@ from repro.evalx.experiment import MANAGER_NAMES, ExperimentConfig, run_all_mana
 from repro.faults import FAULT_SCENARIOS, build_fault_plan
 from repro.evalx.overhead import fig5_measurements
 from repro.evalx.reporting import fig5_table, fig8_table, format_table, sla_table
+from repro.profiling.profiler import PROFILER_MODES
+from repro.profiling.sketches import DEFAULT_TOPK_K
 from repro.sim.engine import ENGINES
 
 
@@ -141,6 +143,16 @@ def _add_store_options(parser: argparse.ArgumentParser) -> None:
         help="run-loop implementation: the fixed-tick oracle or the "
         "discrete-event fast path (bit-identical results per seed)",
     )
+    parser.add_argument(
+        "--profiler-mode", choices=PROFILER_MODES, default="exact",
+        help="profiler precision tier: exact per-path buckets (default), "
+        "space-saving top-k + count-min tail (bounded memory), or "
+        "per-component totals (cheapest)",
+    )
+    parser.add_argument(
+        "--profiler-topk", type=int, default=DEFAULT_TOPK_K,
+        help="hot paths tracked near-exactly in topk mode",
+    )
 
 
 def _experiment_config(args) -> ExperimentConfig:
@@ -150,6 +162,8 @@ def _experiment_config(args) -> ExperimentConfig:
         num_shards=getattr(args, "shards", 1),
         write_batch_size=getattr(args, "batch_size", 1),
         engine=getattr(args, "engine", "tick"),
+        profiler_mode=getattr(args, "profiler_mode", "exact"),
+        profiler_topk=getattr(args, "profiler_topk", DEFAULT_TOPK_K),
     )
 
 

@@ -28,6 +28,8 @@ from repro.core.elasticity import (
 from repro.errors import EvaluationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.profiling.profiler import PROFILER_MODES
+from repro.profiling.sketches import DEFAULT_TOPK_K
 from repro.sim.engine import ENGINES, ClusterSimulator, DCABundle, SimulationConfig
 from repro.sim.metrics import SimulationResult
 from repro.telemetry import MetricsRegistry, get_registry
@@ -69,6 +71,10 @@ class ExperimentConfig:
     #: Run-loop implementation: "tick" (the oracle) or "event" (the
     #: discrete-event fast path); both are bit-identical per seed.
     engine: str = "tick"
+    #: Profiler precision tier ("exact", "topk", "component") and
+    #: space-saving summary size for the topk tier.
+    profiler_mode: str = "exact"
+    profiler_topk: int = DEFAULT_TOPK_K
 
     def __post_init__(self) -> None:
         if self.duration_minutes < 1:
@@ -81,8 +87,16 @@ class ExperimentConfig:
             )
         if self.engine not in ENGINES:
             raise EvaluationError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.profiler_mode not in PROFILER_MODES:
+            raise EvaluationError(
+                f"profiler_mode must be one of {PROFILER_MODES}, got {self.profiler_mode!r}"
+            )
+        if self.profiler_topk < 1:
+            raise EvaluationError(f"profiler_topk must be >= 1, got {self.profiler_topk}")
         self.sim.duration_minutes = self.duration_minutes
         self.sim.engine = self.engine
+        self.sim.profiler_mode = self.profiler_mode
+        self.sim.profiler_topk = self.profiler_topk
 
 
 def _make_generator(scenario: AppScenario, seed: int) -> WorkloadGenerator:
@@ -173,6 +187,8 @@ def build_simulator(
         path_timeout_minutes=path_timeout_minutes,
         num_shards=cfg.num_shards,
         write_batch_size=cfg.write_batch_size,
+        profiler_mode=cfg.sim.profiler_mode,
+        profiler_topk=cfg.sim.profiler_topk,
     )
     if manager_config is not None:
         dca_config = manager_config

@@ -6,19 +6,54 @@ whenever the graph store completes a causal graph, the path's counter is
 incremented.  Counts are kept in a sliding time window (60 minutes by
 default, "configurable") and feed causal probability.
 
-Counting uses per-minute buckets per path, so recording is O(1) and
-reading is O(window) per path regardless of traffic volume.
+The profiler exposes three precision modes, switchable at runtime (the
+staleness detector uses this to shed cost under load — see
+``StalenessPolicy.downshift_mode``):
+
+``exact``
+    The default, and bit-identical to the original implementation's
+    observable behaviour: per-minute buckets per path, plus running
+    per-path window totals (maintained on record/prune) so ``counts()``
+    is O(paths) instead of O(paths × window).
+``topk``
+    Bounded memory: the ``k`` hottest paths live in a windowed
+    space-saving summary, the tail in a windowed count-min sketch, and
+    reads pin the estimate sum to the exact windowed total so hot-path
+    causal probabilities stay within the documented ε of exact mode
+    (:data:`~repro.profiling.sketches.HOT_PATH_PROBABILITY_EPSILON`).
+``component``
+    The cheapest tier (D²ABS-style coarsest level): counts collapsed to
+    per-component windowed totals; ``counts()``/``counts_between()``
+    are keyed by *component name* and :meth:`component_weight_estimates`
+    feeds the manager directly.
+
+Per-path completion counters (``profiler.path_completions{path=…}``) are
+an exact-tier export: sketch modes deliberately do not keep per-path
+telemetry (that would reintroduce O(paths) state).  Sketch health is
+exported instead via the ``profiler.sketch_evictions`` and
+``profiler.estimate_error`` gauges.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import OrderedDict
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.paths import PathSignature
 from repro.errors import ProfilingError
+from repro.profiling.sketches import (
+    DEFAULT_TOPK_K,
+    ComponentActivitySummary,
+    TopKPathSummary,
+)
 from repro.telemetry import MetricsRegistry, get_registry
+
+#: Precision tiers, cheapest last.  ``exact`` is the bit-identical
+#: default; the others trade per-path fidelity for bounded memory.
+PROFILER_MODES: Tuple[str, ...] = ("exact", "topk", "component")
 
 
 @dataclass(frozen=True)
@@ -49,7 +84,12 @@ class CausalPathProfiler:
     registry:
         Telemetry registry for the profiler's counters (the process
         default when omitted).  Per-signature completion counts are
-        exported as ``profiler.path_completions{path=<id>}``.
+        exported as ``profiler.path_completions{path=<id>}`` (exact mode
+        only; see the module docstring).
+    mode:
+        Initial precision mode, one of :data:`PROFILER_MODES`.
+    topk:
+        Space-saving summary size for ``topk`` mode.
     """
 
     def __init__(
@@ -57,31 +97,80 @@ class CausalPathProfiler:
         static_paths: Mapping[str, Iterable[PathSignature]],
         window_minutes: float = 60.0,
         registry: Optional[MetricsRegistry] = None,
+        mode: str = "exact",
+        topk: int = DEFAULT_TOPK_K,
     ) -> None:
         if window_minutes <= 0:
             raise ProfilingError(f"window_minutes must be positive, got {window_minutes}")
+        if mode not in PROFILER_MODES:
+            raise ProfilingError(
+                f"unknown profiler mode {mode!r}; expected one of {PROFILER_MODES}"
+            )
+        if topk < 1:
+            raise ProfilingError(f"topk must be >= 1, got {topk}")
         self.window_minutes = float(window_minutes)
         self.telemetry = registry if registry is not None else get_registry()
         self._m_recordings = self.telemetry.counter("profiler.recordings")
         self._m_unmatched = self.telemetry.counter("profiler.unmatched_observations")
         self._m_dynamic = self.telemetry.counter("profiler.dynamic_registrations")
+        self._m_evictions = self.telemetry.gauge("profiler.sketch_evictions")
+        self._m_estimate_error = self.telemetry.gauge("profiler.estimate_error")
+        self._m_evictions.set(0.0)
+        self._m_estimate_error.set(0.0)
         self._base_unmatched = self._m_unmatched.value
         self._base_dynamic = self._m_dynamic.value
         self._paths: Dict[str, PathSignature] = {}
         self._by_identity: Dict[Tuple[str, Tuple], str] = {}
+        # Per-request-type signature lists kept sorted by edges, so
+        # paths_for_request() is a lookup instead of a full-path scan.
+        self._by_request: Dict[str, List[PathSignature]] = {}
+        self._by_request_keys: Dict[str, List[Tuple]] = {}
         # Cached per-path completion counters, so record() never pays a
         # get-or-create registry lookup (label sorting + key render).
         self._m_completions: Dict[str, object] = {}
+        # Exact-mode state.  _buckets holds path_id -> OrderedDict[minute
+        # bucket -> count] exactly as before; _totals mirrors each path's
+        # in-window sum, _epoch_pids/_epoch_heap index which paths have a
+        # given minute so the read path can advance the whole window in
+        # O(expired entries), and _sample_epochs keeps the exact scalar
+        # per-minute completion totals every mode maintains.
+        self._buckets: Dict[str, "OrderedDict[int, int]"] = {}
+        self._totals: Dict[str, int] = {}
+        self._epoch_pids: Dict[int, List[str]] = {}
+        self._epoch_heap: List[int] = []
+        self._max_bucket: Optional[int] = None
+        self._sample_epochs: "OrderedDict[int, int]" = OrderedDict()
+        self._sample_total = 0
+        # Sketch-mode state (built lazily by set_mode / the constructor).
+        self._topk_k = int(topk)
+        self._sketch: Optional[TopKPathSummary] = None
+        self._component_summary: Optional[ComponentActivitySummary] = None
+        self._components_by_pid: Dict[str, Tuple[str, ...]] = {}
+        self._mode = "exact"
         for req_type, signatures in sorted(static_paths.items()):
             for sig in signatures:
                 self._register(sig)
-        # path_id -> OrderedDict[minute_bucket -> count]
-        self._buckets: Dict[str, "OrderedDict[int, int]"] = {pid: OrderedDict() for pid in self._paths}
+        if mode != "exact":
+            self.set_mode(mode, topk=topk)
         #: Minute of the most recent :meth:`record` call (``None`` until
         #: the first).  Staleness detectors use this to distinguish "no
         #: recent samples because traffic is low" from "the sampled-path
         #: feed has gone quiet" without scanning buckets.
         self.last_record_minutes: Optional[float] = None
+
+    @property
+    def mode(self) -> str:
+        """The active precision mode (one of :data:`PROFILER_MODES`)."""
+        return self._mode
+
+    @property
+    def topk_k(self) -> int:
+        return self._topk_k
+
+    @property
+    def sketch_evictions(self) -> int:
+        """Space-saving evictions since the sketch was (re)built."""
+        return self._sketch.evictions if self._sketch is not None else 0
 
     @property
     def unmatched_observations(self) -> int:
@@ -100,6 +189,17 @@ class CausalPathProfiler:
         if pid not in self._paths:
             self._paths[pid] = signature
             self._by_identity[(signature.request_type, signature.edges)] = pid
+            self._buckets[pid] = OrderedDict()
+            self._totals[pid] = 0
+            sigs = self._by_request.get(signature.request_type)
+            if sigs is None:
+                self._by_request[signature.request_type] = [signature]
+                self._by_request_keys[signature.request_type] = [signature.edges]
+            else:
+                keys = self._by_request_keys[signature.request_type]
+                pos = bisect_left(keys, signature.edges)
+                keys.insert(pos, signature.edges)
+                sigs.insert(pos, signature)
         return pid
 
     def known_paths(self) -> Dict[str, PathSignature]:
@@ -107,10 +207,125 @@ class CausalPathProfiler:
         return dict(self._paths)
 
     def paths_for_request(self, request_type: str) -> List[PathSignature]:
+        return list(self._by_request.get(request_type, ()))
+
+    def _components_of(self, pid: str) -> Tuple[str, ...]:
+        comps = self._components_by_pid.get(pid)
+        if comps is None:
+            comps = tuple(sorted(self._paths[pid].components))
+            self._components_by_pid[pid] = comps
+        return comps
+
+    # -- precision modes --------------------------------------------------------
+
+    def set_mode(self, mode: str, topk: Optional[int] = None) -> None:
+        """Switch precision tier at runtime, carrying over window state.
+
+        * exact → topk/component: current buckets are replayed into the
+          fresh sketch (in epoch order), so a downshift under load keeps
+          the window's history instead of starting cold.
+        * topk → exact: monitored entries are materialised back into
+          buckets; the count-min tail cannot be attributed to individual
+          paths and is dropped (the tail re-accumulates within a window).
+        * component → anything: per-path identity was already collapsed,
+          so the new tier starts empty.
+        """
+        if mode not in PROFILER_MODES:
+            raise ProfilingError(
+                f"unknown profiler mode {mode!r}; expected one of {PROFILER_MODES}"
+            )
+        k = self._topk_k if topk is None else int(topk)
+        if k < 1:
+            raise ProfilingError(f"topk must be >= 1, got {k}")
+        if mode == self._mode and k == self._topk_k:
+            return
+        old = self._mode
+        self._topk_k = k
+        if mode == "topk":
+            sketch = TopKPathSummary(k=k, window_minutes=self.window_minutes)
+            if old == "exact":
+                for epoch, pid, count in self._exact_events():
+                    sketch.record(pid, count, float(epoch))
+            elif old == "topk" and self._sketch is not None:
+                # Resize: reseed from the monitored entries (the count-min
+                # tail re-accumulates within a window).
+                events = sorted(
+                    (epoch, entry.key, count)
+                    for entry in self._sketch.topk.entries()
+                    for epoch, count in entry.epochs.items()
+                )
+                for epoch, pid, count in events:
+                    sketch.record(pid, count, float(epoch))
+            # component → topk starts cold: per-path identity is gone.
+            self._clear_exact()
+            self._sketch = sketch
+            self._component_summary = None
+        elif mode == "component":
+            summary = ComponentActivitySummary(self.window_minutes)
+            if old == "exact":
+                for epoch, pid, count in self._exact_events():
+                    summary.record(self._components_of(pid), count, float(epoch))
+            elif old == "topk" and self._sketch is not None:
+                events = sorted(
+                    (epoch, entry.key, count)
+                    for entry in self._sketch.topk.entries()
+                    for epoch, count in entry.epochs.items()
+                )
+                for epoch, pid, count in events:
+                    if pid in self._paths:
+                        summary.record(self._components_of(pid), count, float(epoch))
+            self._clear_exact()
+            self._component_summary = summary
+            self._sketch = None
+        else:  # exact
+            self._clear_exact()
+            if old == "topk" and self._sketch is not None:
+                for entry in sorted(self._sketch.topk.entries(), key=lambda e: e.key):
+                    if entry.key in self._buckets and entry.epochs:
+                        self._buckets[entry.key] = OrderedDict(sorted(entry.epochs.items()))
+                self._reindex()
+            self._sketch = None
+            self._component_summary = None
+        self._mode = mode
+        self._m_evictions.set(float(self.sketch_evictions))
+
+    def _exact_events(self) -> List[Tuple[int, str, int]]:
+        """All exact bucket entries as (epoch, pid, count), epoch-ordered."""
         return sorted(
-            (sig for sig in self._paths.values() if sig.request_type == request_type),
-            key=lambda s: s.edges,
+            (epoch, pid, count)
+            for pid, buckets in self._buckets.items()
+            for epoch, count in buckets.items()
         )
+
+    def _clear_exact(self) -> None:
+        for pid in self._buckets:
+            self._buckets[pid] = OrderedDict()
+            self._totals[pid] = 0
+        self._epoch_pids = {}
+        self._epoch_heap = []
+        self._max_bucket = None
+        self._sample_epochs = OrderedDict()
+        self._sample_total = 0
+
+    def _reindex(self) -> None:
+        """Rebuild running totals + epoch indexes from ``_buckets``."""
+        totals = {pid: 0 for pid in self._paths}
+        epoch_pids: Dict[int, List[str]] = {}
+        scalar: Dict[int, int] = {}
+        max_bucket: Optional[int] = None
+        for pid, buckets in self._buckets.items():
+            for epoch, count in buckets.items():
+                totals[pid] += count
+                epoch_pids.setdefault(epoch, []).append(pid)
+                scalar[epoch] = scalar.get(epoch, 0) + count
+                if max_bucket is None or epoch > max_bucket:
+                    max_bucket = epoch
+        self._totals = totals
+        self._epoch_pids = epoch_pids
+        self._epoch_heap = sorted(epoch_pids)  # a sorted list is a valid heap
+        self._sample_epochs = OrderedDict(sorted(scalar.items()))
+        self._sample_total = sum(scalar.values())
+        self._max_bucket = max_bucket
 
     # -- recording ---------------------------------------------------------------
 
@@ -127,36 +342,115 @@ class CausalPathProfiler:
         pid = self._by_identity.get(key)
         if pid is None:
             pid = self._register(signature)
-            self._buckets[pid] = OrderedDict()
             self._m_dynamic.inc()
             self._m_unmatched.inc()
         if self.last_record_minutes is None or time_minutes > self.last_record_minutes:
             self.last_record_minutes = float(time_minutes)
+        if self._mode == "exact":
+            self._record_exact(pid, count, time_minutes)
+        elif self._mode == "topk":
+            sketch = self._sketch
+            sketch.record(pid, count, time_minutes)
+            self._m_evictions.set(float(sketch.evictions))
+        else:
+            self._component_summary.record(self._components_of(pid), count, time_minutes)
+        self._m_recordings.inc(count)
+        return pid
+
+    def _record_exact(self, pid: str, count: int, time_minutes: float) -> None:
         bucket = int(time_minutes)
         buckets = self._buckets[pid]
-        buckets[bucket] = buckets.get(bucket, 0) + count
-        self._prune(buckets, time_minutes)
-        self._m_recordings.inc(count)
+        if bucket in buckets:
+            buckets[bucket] += count
+        else:
+            buckets[bucket] = count
+            pids = self._epoch_pids.get(bucket)
+            if pids is None:
+                self._epoch_pids[bucket] = [pid]
+                heappush(self._epoch_heap, bucket)
+            else:
+                pids.append(pid)
+        self._totals[pid] += count
+        if self._max_bucket is None or bucket > self._max_bucket:
+            self._max_bucket = bucket
+        self._sample_epochs[bucket] = self._sample_epochs.get(bucket, 0) + count
+        self._sample_total += count
+        self._prune(pid, buckets, time_minutes)
         completions = self._m_completions.get(pid)
         if completions is None:
             completions = self.telemetry.counter("profiler.path_completions", labels={"path": pid})
             self._m_completions[pid] = completions
         completions.inc(count)
-        return pid
 
-    def _prune(self, buckets: "OrderedDict[int, int]", now: float) -> None:
+    def _prune(self, pid: str, buckets: "OrderedDict[int, int]", now: float) -> None:
         horizon = now - self.window_minutes
         while buckets:
             oldest = next(iter(buckets))
             if oldest < horizon:
-                del buckets[oldest]
+                self._totals[pid] -= buckets.pop(oldest)
+            else:
+                break
+        while self._sample_epochs:
+            oldest = next(iter(self._sample_epochs))
+            if oldest < horizon:
+                self._sample_total -= self._sample_epochs.pop(oldest)
+            else:
+                break
+
+    def _advance_window(self, horizon: float) -> None:
+        """Expire every bucket strictly older than ``horizon`` (all paths).
+
+        Same predicate as :meth:`_prune`, but driven from the shared
+        epoch index so a read touches only the entries that actually
+        expired — this is what keeps the ``counts()`` fast path a plain
+        running-total copy.
+        """
+        heap = self._epoch_heap
+        while heap and heap[0] < horizon:
+            epoch = heappop(heap)
+            for pid in self._epoch_pids.pop(epoch, ()):
+                buckets = self._buckets.get(pid)
+                if buckets is not None:
+                    count = buckets.pop(epoch, None)
+                    if count is not None:
+                        self._totals[pid] -= count
+        while self._sample_epochs:
+            oldest = next(iter(self._sample_epochs))
+            if oldest < horizon:
+                self._sample_total -= self._sample_epochs.pop(oldest)
             else:
                 break
 
     # -- reading -----------------------------------------------------------------
 
     def counts(self, now_minutes: float) -> Dict[str, int]:
-        """Per-path counts within the window ending at ``now_minutes``."""
+        """Windowed counts ending at ``now_minutes``.
+
+        Keyed by path id in ``exact``/``topk`` mode, by component name in
+        ``component`` mode.  ``topk`` values are estimates whose sum is
+        pinned to the exact windowed total (see
+        :class:`~repro.profiling.sketches.TopKPathSummary`).
+        """
+        if self._mode == "topk":
+            out = self._sketch.counts(list(self._paths), now_minutes)
+            self._m_estimate_error.set(self._sketch.probability_error_bound())
+            return out
+        if self._mode == "component":
+            self._m_estimate_error.set(0.0)
+            return self._component_summary.totals(now_minutes)
+        self._m_estimate_error.set(0.0)
+        horizon = now_minutes - self.window_minutes
+        self._advance_window(horizon)
+        if self._max_bucket is None or now_minutes >= self._max_bucket:
+            return dict(self._totals)
+        # A read earlier than the newest bucket (a replayed/past read)
+        # cannot use the running totals; fall back to the full scan.
+        return self._scan_counts(now_minutes)
+
+    def _scan_counts(self, now_minutes: float) -> Dict[str, int]:
+        """The pre-optimisation O(paths × window) read, kept as the
+        correctness fallback for reads into the past and as the
+        benchmark's reference implementation."""
         horizon = now_minutes - self.window_minutes
         out: Dict[str, int] = {}
         for pid, buckets in self._buckets.items():
@@ -170,15 +464,49 @@ class CausalPathProfiler:
         Elasticity managers use a short recent horizon for the *mix*
         estimate (so they adapt to hot-path shifts) while the full window
         backs the long-term causal probabilities; both reads share the
-        same buckets.
+        same buckets.  Keyed like :meth:`counts` (component names in
+        ``component`` mode).
         """
         if end_minutes < start_minutes:
             raise ProfilingError(f"empty interval [{start_minutes}, {end_minutes}]")
+        if self._mode == "topk":
+            return self._sketch.counts_between(list(self._paths), start_minutes, end_minutes)
+        if self._mode == "component":
+            return self._component_summary.totals_between(start_minutes, end_minutes)
         out: Dict[str, int] = {}
         for pid, buckets in self._buckets.items():
             total = sum(c for minute, c in buckets.items() if start_minutes <= minute <= end_minutes)
             out[pid] = total
         return out
+
+    def sample_total_between(self, start_minutes: float, end_minutes: float) -> int:
+        """Exact number of recorded completions in ``[start, end]``.
+
+        Maintained as a scalar per-minute ring in *every* mode, so
+        staleness detection keeps its exact sample-flow signal even when
+        per-path counts are sketched or collapsed to components.
+        """
+        if end_minutes < start_minutes:
+            raise ProfilingError(f"empty interval [{start_minutes}, {end_minutes}]")
+        if self._mode == "topk":
+            return self._sketch.sample_total_between(start_minutes, end_minutes)
+        if self._mode == "component":
+            return self._component_summary.sample_total_between(start_minutes, end_minutes)
+        return sum(
+            c for e, c in self._sample_epochs.items() if start_minutes <= e <= end_minutes
+        )
+
+    def component_weight_estimates(self, now_minutes: float) -> Dict[str, float]:
+        """``component``-mode ``w_c`` estimates (touch fraction per component).
+
+        Only meaningful in ``component`` mode — other modes derive ``w_c``
+        from per-path causal probabilities.
+        """
+        if self._mode != "component":
+            raise ProfilingError(
+                f"component_weight_estimates requires component mode, profiler is in {self._mode!r}"
+            )
+        return self._component_summary.weights(now_minutes)
 
     def snapshot(self, now_minutes: float) -> ProfileSnapshot:
         return ProfileSnapshot(
@@ -190,15 +518,21 @@ class CausalPathProfiler:
     # -- persistence ------------------------------------------------------------
 
     def to_json(self) -> str:
-        """Serialise the profiler (paths + window + buckets) to JSON.
+        """Serialise the profiler to JSON (checkpoint format v2).
 
         The profiler is the long-lived state of the elasticity system —
         restarting the monitoring host must not lose the causal-probability
-        history, so deployments checkpoint it.
+        history, so deployments checkpoint it.  v2 carries the precision
+        mode, ``last_record_minutes`` (so a restored checkpoint does not
+        reset staleness detection) and any sketch state; v1 checkpoints
+        (no ``version`` key) are still readable.
         """
         import json
 
         payload = {
+            "version": 2,
+            "mode": self._mode,
+            "topk": self._topk_k,
             "window_minutes": self.window_minutes,
             "paths": [
                 {
@@ -210,17 +544,30 @@ class CausalPathProfiler:
             "buckets": {
                 pid: sorted(buckets.items()) for pid, buckets in self._buckets.items()
             },
+            "last_record_minutes": self.last_record_minutes,
             "dynamic_registrations": self.dynamic_registrations,
             "unmatched_observations": self.unmatched_observations,
+            "sketch": self._sketch.to_state() if self._sketch is not None else None,
+            "components": (
+                self._component_summary.to_state()
+                if self._component_summary is not None
+                else None
+            ),
         }
         return json.dumps(payload)
 
     @classmethod
     def from_json(cls, data: str) -> "CausalPathProfiler":
-        """Restore a profiler checkpointed with :meth:`to_json`."""
+        """Restore a profiler checkpointed with :meth:`to_json`.
+
+        Reads both checkpoint formats: v2 (current) and v1 (pre-sketch,
+        identified by the missing ``version`` key — always exact mode,
+        with ``last_record_minutes`` unknown).
+        """
         import json
 
         payload = json.loads(data)
+        version = int(payload.get("version", 1))
         signatures = [
             PathSignature(
                 entry["request_type"],
@@ -231,13 +578,35 @@ class CausalPathProfiler:
         by_request: Dict[str, List[PathSignature]] = {}
         for sig in signatures:
             by_request.setdefault(sig.request_type, []).append(sig)
-        profiler = cls(by_request, window_minutes=payload["window_minutes"])
+        mode = payload.get("mode", "exact") if version >= 2 else "exact"
+        topk = int(payload.get("topk", DEFAULT_TOPK_K)) if version >= 2 else DEFAULT_TOPK_K
+        profiler = cls(
+            by_request,
+            window_minutes=payload["window_minutes"],
+            mode=mode,
+            topk=topk,
+        )
         for pid, buckets in payload["buckets"].items():
             if pid not in profiler._buckets:
                 raise ProfilingError(f"checkpoint references unknown path id {pid!r}")
             profiler._buckets[pid] = OrderedDict(
                 (int(minute), int(count)) for minute, count in buckets
             )
+        profiler._reindex()
+        if version >= 2:
+            last = payload.get("last_record_minutes")
+            profiler.last_record_minutes = None if last is None else float(last)
+            sketch_state = payload.get("sketch")
+            if sketch_state is not None:
+                profiler._sketch = TopKPathSummary.from_state(
+                    sketch_state, profiler.window_minutes
+                )
+                profiler._m_evictions.set(float(profiler._sketch.evictions))
+            component_state = payload.get("components")
+            if component_state is not None:
+                profiler._component_summary = ComponentActivitySummary.from_state(
+                    component_state, profiler.window_minutes
+                )
         profiler._m_dynamic.inc(int(payload.get("dynamic_registrations", 0)))
         profiler._m_unmatched.inc(int(payload.get("unmatched_observations", 0)))
         return profiler

@@ -1,0 +1,597 @@
+"""Bounded-memory sliding-window summaries for the causal-path profiler.
+
+At production path cardinality the profiler cannot afford one exact
+per-minute bucket map per path: memory is O(paths × window) and every
+``counts()`` read walks all of it.  This module provides the sketch tier
+behind the profiler's precision modes (see
+:mod:`repro.profiling.profiler`):
+
+* :class:`WindowedCountMinSketch` — a dependency-free count-min sketch
+  whose counters are kept per minute in a ring of epoch tables plus one
+  aggregate table.  Recording updates both; when an epoch slides out of
+  the window its table is subtracted from the aggregate and dropped, so
+  pruning is O(table) per *epoch*, independent of how many paths or
+  buckets passed through the window.
+* :class:`SpaceSavingTopK` — a space-saving summary of the ``k``
+  heaviest keys.  Each monitored entry carries its own per-minute epoch
+  ring, and a shared epoch → keys index lets the window advance touch
+  only the entries that actually have counts in the expiring minute.
+* :class:`TopKPathSummary` — the combination the profiler's ``topk``
+  mode uses: hot paths live in the space-saving summary (near-exact,
+  per-entry error bound), the tail lives in the count-min sketch, and an
+  *exact* scalar per-epoch total anchors the probability denominator so
+  hot-path causal probabilities stay within
+  :data:`HOT_PATH_PROBABILITY_EPSILON` of the exact profiler.
+* :class:`ComponentActivitySummary` — the cheapest tier (``component``
+  mode): per-component windowed totals only, in the spirit of D²ABS's
+  coarsest cost-effectiveness level.
+
+All structures share the exact profiler's window semantics: counts land
+in ``int(time_minutes)`` buckets and an epoch is pruned once it is
+*strictly* older than ``now - window_minutes`` (a bucket exactly on the
+horizon is still inside the window).  Like the exact bucket store, the
+epoch rings assume record times are (mostly) monotone — the simulator's
+clock is.
+
+Error model
+-----------
+
+For a window holding ``N`` recorded completions:
+
+* a space-saving entry overestimates its true count by at most
+  ``entry.error`` (set at promotion time from the evidence available:
+  the evicted minimum and the count-min estimate it inherited);
+* a count-min estimate overestimates by at most ``e·N_tail/width`` with
+  probability ``1 - e^-depth`` (``N_tail`` = tail mass in the sketch);
+* :meth:`TopKPathSummary.counts` pins the *sum* of the returned
+  estimates to the exact windowed total, so a hot path's causal
+  probability error is bounded by ``entry.error / N`` — with the default
+  ``k`` this stays under :data:`HOT_PATH_PROBABILITY_EPSILON` for any
+  workload whose hot paths are genuinely hot (Zipf-like traffic).
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ProfilingError
+
+#: Default number of hot paths tracked near-exactly in ``topk`` mode.
+DEFAULT_TOPK_K = 128
+
+#: Default count-min geometry for the tail residual.
+DEFAULT_CMS_WIDTH = 512
+DEFAULT_CMS_DEPTH = 4
+
+#: Documented bound on ``|p_topk(path) - p_exact(path)|`` for hot paths
+#: (the top-k paths by true count) under the default sketch geometry.
+#: The property tests in ``tests/profiling`` pin this across 25 seeds of
+#: Zipf and flash-crowd traffic; the gated benchmark re-measures it at
+#: 10k+ paths.
+HOT_PATH_PROBABILITY_EPSILON = 0.05
+
+#: Per-row hash salts (golden-ratio multiples; crc32 starting values).
+_SALTS = tuple((0x9E3779B9 * (row + 1)) & 0xFFFFFFFF for row in range(8))
+
+
+def _epoch_of(time_minutes: float) -> int:
+    """The per-minute bucket a record at ``time_minutes`` lands in."""
+    return int(time_minutes)
+
+
+class WindowedCountMinSketch:
+    """Count-min sketch over a sliding window of per-minute epochs.
+
+    One aggregate table answers :meth:`estimate` in O(depth); the ring
+    of per-epoch (sparse) tables exists so expiring a minute is a single
+    subtract-and-drop, O(non-zero cells of that minute).
+    """
+
+    __slots__ = (
+        "window_minutes",
+        "width",
+        "depth",
+        "_agg",
+        "_epochs",
+        "_epoch_totals",
+        "_salt_bases",
+        "total",
+    )
+
+    def __init__(
+        self,
+        window_minutes: float,
+        width: int = DEFAULT_CMS_WIDTH,
+        depth: int = DEFAULT_CMS_DEPTH,
+    ) -> None:
+        if window_minutes <= 0:
+            raise ProfilingError(f"window_minutes must be positive, got {window_minutes}")
+        if width < 8:
+            raise ProfilingError(f"count-min width must be >= 8, got {width}")
+        if not 1 <= depth <= len(_SALTS):
+            raise ProfilingError(f"count-min depth must be in [1, {len(_SALTS)}], got {depth}")
+        self.window_minutes = float(window_minutes)
+        self.width = int(width)
+        self.depth = int(depth)
+        self._agg: List[int] = [0] * (self.width * self.depth)
+        # epoch -> sparse {flat index -> count}; insertion order is
+        # chronological under the monotone-clock contract.
+        self._epochs: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
+        self._epoch_totals: Dict[int, int] = {}
+        # (salt, row offset) pairs, precomputed so the read loop does no
+        # per-row arithmetic beyond the hash itself.
+        self._salt_bases: Tuple[Tuple[int, int], ...] = tuple(
+            (_SALTS[row], row * self.width) for row in range(self.depth)
+        )
+        #: Windowed tail mass (sum of all counts currently in the ring).
+        self.total = 0
+
+    def _indexes(self, key: str) -> List[int]:
+        data = key.encode("utf-8")
+        width = self.width
+        return [
+            base + (zlib.crc32(data, salt) % width) for salt, base in self._salt_bases
+        ]
+
+    def advance(self, time_minutes: float) -> None:
+        """Expire epochs strictly older than the window ending now."""
+        horizon = time_minutes - self.window_minutes
+        while self._epochs:
+            oldest = next(iter(self._epochs))
+            if oldest >= horizon:
+                break
+            table = self._epochs.pop(oldest)
+            agg = self._agg
+            for idx, c in table.items():
+                agg[idx] -= c
+            self.total -= self._epoch_totals.pop(oldest)
+
+    def add(self, key: str, count: int, time_minutes: float) -> None:
+        self.advance(time_minutes)
+        epoch = _epoch_of(time_minutes)
+        table = self._epochs.get(epoch)
+        if table is None:
+            table = self._epochs[epoch] = {}
+            self._epoch_totals[epoch] = 0
+        agg = self._agg
+        for idx in self._indexes(key):
+            table[idx] = table.get(idx, 0) + count
+            agg[idx] += count
+        self._epoch_totals[epoch] += count
+        self.total += count
+
+    def estimate(self, key: str) -> int:
+        """Windowed count estimate (never an underestimate)."""
+        agg = self._agg
+        width = self.width
+        data = key.encode("utf-8")
+        best = -1
+        for salt, base in self._salt_bases:
+            value = agg[base + zlib.crc32(data, salt) % width]
+            if value == 0:
+                # A zero row is exact: the key has no in-window mass.
+                return 0
+            if best < 0 or value < best:
+                best = value
+        return best
+
+    def estimate_between(self, key: str, start_minutes: float, end_minutes: float) -> int:
+        """Estimate over the sub-range ``start <= minute <= end``."""
+        idxs = self._indexes(key)
+        total = 0
+        for epoch, table in self._epochs.items():
+            if start_minutes <= epoch <= end_minutes:
+                total += min(table.get(idx, 0) for idx in idxs)
+        return total
+
+    def count_error_bound(self) -> float:
+        """Classic CMS overestimate bound: ``e/width`` of the tail mass."""
+        return 2.718281828459045 * self.total / self.width
+
+    # -- persistence (checkpoint format v2) ------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "epochs": [
+                [epoch, sorted(table.items())] for epoch, table in self._epochs.items()
+            ],
+            "epoch_totals": sorted(self._epoch_totals.items()),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object], window_minutes: float) -> "WindowedCountMinSketch":
+        sketch = cls(window_minutes, width=int(state["width"]), depth=int(state["depth"]))
+        totals = {int(e): int(t) for e, t in state["epoch_totals"]}
+        for epoch, cells in state["epochs"]:
+            epoch = int(epoch)
+            table = {int(idx): int(c) for idx, c in cells}
+            sketch._epochs[epoch] = table
+            for idx, c in table.items():
+                sketch._agg[idx] += c
+            sketch._epoch_totals[epoch] = totals.get(epoch, 0)
+            sketch.total += sketch._epoch_totals[epoch]
+        return sketch
+
+
+class _TopKEntry:
+    """One monitored hot path: windowed total + per-epoch ring + error."""
+
+    __slots__ = ("key", "total", "error", "epochs")
+
+    def __init__(self, key: str, error: int = 0) -> None:
+        self.key = key
+        self.total = 0
+        #: Upper bound on how much ``total`` overestimates the true
+        #: windowed count (inherited history at promotion time).
+        self.error = int(error)
+        self.epochs: "OrderedDict[int, int]" = OrderedDict()
+
+    def total_between(self, start_minutes: float, end_minutes: float) -> int:
+        return sum(c for e, c in self.epochs.items() if start_minutes <= e <= end_minutes)
+
+
+class SpaceSavingTopK:
+    """Space-saving summary of the ``k`` heaviest keys in the window.
+
+    The shared epoch → keys index makes the window advance proportional
+    to the number of (entry, expiring-minute) pairs, not to ``k``.
+    Eviction picks the minimum windowed total with a deterministic
+    ``(total, key)`` tiebreak so seeded runs are reproducible.
+    """
+
+    __slots__ = ("k", "window_minutes", "_entries", "_epoch_keys", "evictions")
+
+    def __init__(self, k: int, window_minutes: float) -> None:
+        if k < 1:
+            raise ProfilingError(f"top-k size must be >= 1, got {k}")
+        if window_minutes <= 0:
+            raise ProfilingError(f"window_minutes must be positive, got {window_minutes}")
+        self.k = int(k)
+        self.window_minutes = float(window_minutes)
+        self._entries: Dict[str, _TopKEntry] = {}
+        self._epoch_keys: "OrderedDict[int, List[str]]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[_TopKEntry]:
+        return self._entries.get(key)
+
+    def entries(self) -> Iterable[_TopKEntry]:
+        return self._entries.values()
+
+    def advance(self, time_minutes: float) -> None:
+        horizon = time_minutes - self.window_minutes
+        while self._epoch_keys:
+            oldest = next(iter(self._epoch_keys))
+            if oldest >= horizon:
+                break
+            for key in self._epoch_keys.pop(oldest):
+                entry = self._entries.get(key)
+                if entry is not None:
+                    expired = entry.epochs.pop(oldest, None)
+                    if expired is not None:
+                        entry.total -= expired
+
+    def increment(self, key: str, count: int, time_minutes: float) -> bool:
+        """Add ``count`` if ``key`` is monitored; report whether it was."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        self._bump(entry, count, _epoch_of(time_minutes))
+        return True
+
+    def _bump(self, entry: _TopKEntry, count: int, epoch: int) -> None:
+        if epoch in entry.epochs:
+            entry.epochs[epoch] += count
+        else:
+            entry.epochs[epoch] = count
+            keys = self._epoch_keys.get(epoch)
+            if keys is None:
+                self._epoch_keys[epoch] = [entry.key]
+            else:
+                keys.append(entry.key)
+        entry.total += count
+
+    def insert(self, key: str, total: int, error: int, time_minutes: float) -> _TopKEntry:
+        """Start monitoring ``key`` (caller evicts first when full)."""
+        entry = _TopKEntry(key, error=error)
+        self._entries[key] = entry
+        if total > 0:
+            self._bump(entry, total, _epoch_of(time_minutes))
+        return entry
+
+    def min_entry(self) -> _TopKEntry:
+        return min(self._entries.values(), key=lambda e: (e.total, e.key))
+
+    def evict(self, key: str) -> None:
+        # Stale references left in the epoch index are skipped by the
+        # `entries.get` guard in advance().
+        del self._entries[key]
+        self.evictions += 1
+
+    def max_error(self) -> int:
+        if not self._entries:
+            return 0
+        return max(entry.error for entry in self._entries.values())
+
+    # -- persistence (checkpoint format v2) ------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        return {
+            "k": self.k,
+            "evictions": self.evictions,
+            "entries": [
+                {
+                    "key": entry.key,
+                    "error": entry.error,
+                    "epochs": list(entry.epochs.items()),
+                }
+                for entry in sorted(self._entries.values(), key=lambda e: e.key)
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object], window_minutes: float) -> "SpaceSavingTopK":
+        summary = cls(int(state["k"]), window_minutes)
+        summary.evictions = int(state.get("evictions", 0))
+        for spec in state["entries"]:
+            entry = _TopKEntry(str(spec["key"]), error=int(spec["error"]))
+            summary._entries[entry.key] = entry
+            for epoch, count in spec["epochs"]:
+                summary._bump(entry, int(count), int(epoch))
+        return summary
+
+
+class TopKPathSummary:
+    """The profiler's ``topk`` tier: hot paths exact-ish, tail sketched.
+
+    A record goes to the space-saving summary when its path is already
+    monitored; otherwise it lands in the count-min tail, and the path is
+    promoted into the summary when its tail estimate overtakes the
+    current minimum (the classic space-saving admission rule).  An exact
+    scalar per-epoch total is kept alongside so reads can pin the
+    probability denominator — see :meth:`counts`.
+    """
+
+    __slots__ = ("window_minutes", "topk", "cms", "_sample_epochs", "sample_total")
+
+    def __init__(
+        self,
+        k: int = DEFAULT_TOPK_K,
+        window_minutes: float = 60.0,
+        cms_width: int = DEFAULT_CMS_WIDTH,
+        cms_depth: int = DEFAULT_CMS_DEPTH,
+    ) -> None:
+        self.window_minutes = float(window_minutes)
+        self.topk = SpaceSavingTopK(k, window_minutes)
+        self.cms = WindowedCountMinSketch(window_minutes, width=cms_width, depth=cms_depth)
+        # Exact scalar totals per epoch: O(window) integers, regardless
+        # of path cardinality.
+        self._sample_epochs: "OrderedDict[int, int]" = OrderedDict()
+        self.sample_total = 0
+
+    @property
+    def evictions(self) -> int:
+        return self.topk.evictions
+
+    def advance(self, time_minutes: float) -> None:
+        self.topk.advance(time_minutes)
+        self.cms.advance(time_minutes)
+        horizon = time_minutes - self.window_minutes
+        while self._sample_epochs:
+            oldest = next(iter(self._sample_epochs))
+            if oldest >= horizon:
+                break
+            self.sample_total -= self._sample_epochs.pop(oldest)
+
+    def record(self, key: str, count: int, time_minutes: float) -> None:
+        self.advance(time_minutes)
+        epoch = _epoch_of(time_minutes)
+        self._sample_epochs[epoch] = self._sample_epochs.get(epoch, 0) + count
+        self.sample_total += count
+        if self.topk.increment(key, count, time_minutes):
+            return
+        self.cms.add(key, count, time_minutes)
+        estimate = self.cms.estimate(key)
+        if len(self.topk) < self.topk.k:
+            self.topk.insert(key, estimate, max(0, estimate - count), time_minutes)
+            return
+        floor = self.topk.min_entry()
+        if estimate > floor.total:
+            self.topk.evict(floor.key)
+            self.topk.insert(
+                key, estimate, max(floor.total, estimate - count), time_minutes
+            )
+
+    # -- reads -------------------------------------------------------------------
+
+    def sample_total_between(self, start_minutes: float, end_minutes: float) -> int:
+        """Exact number of recorded completions in ``[start, end]``."""
+        return sum(
+            c for e, c in self._sample_epochs.items() if start_minutes <= e <= end_minutes
+        )
+
+    def counts(self, keys: Sequence[str], now_minutes: float) -> Dict[str, int]:
+        """Windowed estimates for ``keys``, summing to the exact total.
+
+        Monitored paths report their space-saving totals; the remaining
+        (exact) mass is apportioned over the tail by count-min estimate,
+        so ``causal_probabilities`` downstream sees a denominator equal
+        to the true windowed total and hot-path probabilities inherit
+        only the space-saving per-entry error.
+        """
+        self.advance(now_minutes)
+        return self._estimates(
+            keys,
+            monitored=lambda entry: entry.total,
+            tail=self.cms.estimate,
+            exact_total=self.sample_total,
+        )
+
+    def counts_between(
+        self, keys: Sequence[str], start_minutes: float, end_minutes: float
+    ) -> Dict[str, int]:
+        return self._estimates(
+            keys,
+            monitored=lambda entry: entry.total_between(start_minutes, end_minutes),
+            tail=lambda key: self.cms.estimate_between(key, start_minutes, end_minutes),
+            exact_total=self.sample_total_between(start_minutes, end_minutes),
+        )
+
+    def _estimates(self, keys, monitored, tail, exact_total) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        tail_keys: List[str] = []
+        tail_estimates: List[int] = []
+        hot_mass = 0
+        entry_of = self.topk._entries.get
+        for key in keys:
+            entry = entry_of(key)
+            if entry is not None:
+                value = monitored(entry)
+                out[key] = value
+                hot_mass += value
+            else:
+                out[key] = 0
+                estimate = tail(key)
+                if estimate > 0:
+                    tail_keys.append(key)
+                    tail_estimates.append(estimate)
+        residual = max(0, exact_total - hot_mass)
+        if residual and tail_keys:
+            # Cumulative integer apportionment: key i gets
+            # floor(cum_i·residual/total) − floor(cum_{i-1}·residual/total),
+            # which telescopes to exactly ``residual`` (no per-key rounding
+            # drift), keeps every share within 1 of its proportional value,
+            # and needs one O(tail) pass — no sort.
+            total_estimate = sum(tail_estimates)
+            cum = 0
+            prev_share = 0
+            for key, estimate in zip(tail_keys, tail_estimates):
+                cum += estimate
+                share = cum * residual // total_estimate
+                out[key] = share - prev_share
+                prev_share = share
+        return out
+
+    def probability_error_bound(self) -> float:
+        """Worst-case hot-path probability overestimate right now."""
+        return self.topk.max_error() / max(1, self.sample_total)
+
+    # -- persistence (checkpoint format v2) ------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        return {
+            "topk": self.topk.to_state(),
+            "cms": self.cms.to_state(),
+            "sample_epochs": list(self._sample_epochs.items()),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object], window_minutes: float) -> "TopKPathSummary":
+        summary = cls(k=int(state["topk"]["k"]), window_minutes=window_minutes)
+        summary.topk = SpaceSavingTopK.from_state(state["topk"], window_minutes)
+        summary.cms = WindowedCountMinSketch.from_state(state["cms"], window_minutes)
+        for epoch, count in state["sample_epochs"]:
+            summary._sample_epochs[int(epoch)] = int(count)
+            summary.sample_total += int(count)
+        return summary
+
+
+class ComponentActivitySummary:
+    """The ``component`` tier: windowed per-component totals only.
+
+    The cheapest precision level — memory is O(components × window) and
+    entirely independent of path cardinality.  ``weights`` divides each
+    component's touch count by the exact number of recorded completions,
+    matching the ``w_c`` the DCA manager derives from per-path causal
+    probabilities (a completion touching a component contributes its
+    full probability mass either way).
+    """
+
+    __slots__ = ("window_minutes", "_epochs", "_epoch_requests", "_totals", "request_total")
+
+    def __init__(self, window_minutes: float = 60.0) -> None:
+        if window_minutes <= 0:
+            raise ProfilingError(f"window_minutes must be positive, got {window_minutes}")
+        self.window_minutes = float(window_minutes)
+        self._epochs: "OrderedDict[int, Dict[str, int]]" = OrderedDict()
+        self._epoch_requests: Dict[int, int] = {}
+        self._totals: Dict[str, int] = {}
+        self.request_total = 0
+
+    def advance(self, time_minutes: float) -> None:
+        horizon = time_minutes - self.window_minutes
+        while self._epochs:
+            oldest = next(iter(self._epochs))
+            if oldest >= horizon:
+                break
+            for comp, count in self._epochs.pop(oldest).items():
+                self._totals[comp] -= count
+            self.request_total -= self._epoch_requests.pop(oldest)
+
+    def record(self, components: Iterable[str], count: int, time_minutes: float) -> None:
+        self.advance(time_minutes)
+        epoch = _epoch_of(time_minutes)
+        table = self._epochs.get(epoch)
+        if table is None:
+            table = self._epochs[epoch] = {}
+            self._epoch_requests[epoch] = 0
+        for comp in components:
+            table[comp] = table.get(comp, 0) + count
+            self._totals[comp] = self._totals.get(comp, 0) + count
+        self._epoch_requests[epoch] += count
+        self.request_total += count
+
+    def totals(self, now_minutes: float) -> Dict[str, int]:
+        self.advance(now_minutes)
+        return {comp: total for comp, total in self._totals.items() if total > 0}
+
+    def totals_between(self, start_minutes: float, end_minutes: float) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for epoch, table in self._epochs.items():
+            if start_minutes <= epoch <= end_minutes:
+                for comp, count in table.items():
+                    out[comp] = out.get(comp, 0) + count
+        return out
+
+    def sample_total_between(self, start_minutes: float, end_minutes: float) -> int:
+        return sum(
+            c for e, c in self._epoch_requests.items() if start_minutes <= e <= end_minutes
+        )
+
+    def weights(self, now_minutes: float) -> Dict[str, float]:
+        """``w_c`` estimates: fraction of completions touching ``c``."""
+        totals = self.totals(now_minutes)
+        if self.request_total <= 0:
+            return {}
+        return {comp: count / self.request_total for comp, count in totals.items()}
+
+    # -- persistence (checkpoint format v2) ------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        return {
+            "epochs": [
+                [epoch, sorted(table.items())] for epoch, table in self._epochs.items()
+            ],
+            "epoch_requests": sorted(self._epoch_requests.items()),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object], window_minutes: float) -> "ComponentActivitySummary":
+        summary = cls(window_minutes)
+        requests = {int(e): int(c) for e, c in state["epoch_requests"]}
+        for epoch, items in state["epochs"]:
+            epoch = int(epoch)
+            table = {str(comp): int(c) for comp, c in items}
+            summary._epochs[epoch] = table
+            for comp, c in table.items():
+                summary._totals[comp] = summary._totals.get(comp, 0) + c
+            summary._epoch_requests[epoch] = requests.get(epoch, 0)
+            summary.request_total += summary._epoch_requests[epoch]
+        return summary

@@ -45,7 +45,8 @@ from repro.faults.plan import FaultPlan
 from repro.graphstore.sharded import ShardedGraphStore
 from repro.graphstore.store import GraphStore
 from repro.lang.ir import Application
-from repro.profiling.profiler import CausalPathProfiler
+from repro.profiling.profiler import PROFILER_MODES, CausalPathProfiler
+from repro.profiling.sketches import DEFAULT_TOPK_K
 from repro.sim.cluster import Cluster, DeploymentSpec
 from repro.sim.metrics import ComponentInterval, IntervalRecord, SimulationResult
 from repro.sim.queueing import nodes_required, serve_interval
@@ -89,6 +90,12 @@ class SimulationConfig:
     #: Length of one observation interval in simulated minutes.  All
     #: per-minute rates are converted through this value.
     interval_minutes: float = INTERVAL_MINUTES
+    #: Profiler precision tier (``exact``/``topk``/``component``) and
+    #: space-saving summary size for ``topk`` — see
+    #: :mod:`repro.profiling.sketches`.  ``exact`` is bit-identical to
+    #: the pre-sketch profiler.
+    profiler_mode: str = "exact"
+    profiler_topk: int = DEFAULT_TOPK_K
 
     def __post_init__(self) -> None:
         if self.duration_minutes < 1:
@@ -111,6 +118,14 @@ class SimulationConfig:
         if self.interval_minutes <= 0:
             raise SimulationError(
                 f"interval_minutes must be > 0, got {self.interval_minutes}"
+            )
+        if self.profiler_mode not in PROFILER_MODES:
+            raise SimulationError(
+                f"profiler_mode must be one of {PROFILER_MODES}, got {self.profiler_mode!r}"
+            )
+        if self.profiler_topk < 1:
+            raise SimulationError(
+                f"profiler_topk must be >= 1, got {self.profiler_topk}"
             )
 
     @property
@@ -146,6 +161,8 @@ class DCABundle:
         num_shards: int = 1,
         write_batch_size: int = 1,
         maintenance_workers: int = 0,
+        profiler_mode: str = "exact",
+        profiler_topk: int = DEFAULT_TOPK_K,
     ) -> "DCABundle":
         """Analyse, instrument, and wire the full DCA pipeline for ``app``.
 
@@ -172,7 +189,11 @@ class DCABundle:
         )
         static_paths = enumerate_causal_paths(app)
         profiler = CausalPathProfiler(
-            static_paths, window_minutes=window_minutes, registry=registry
+            static_paths,
+            window_minutes=window_minutes,
+            registry=registry,
+            mode=profiler_mode,
+            topk=profiler_topk,
         )
         injector = None
         if fault_plan is not None:

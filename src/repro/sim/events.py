@@ -72,9 +72,13 @@ threshold must comfortably exceed them.
 
 Replay is only eligible when ingestion is pure counting — no fault
 injector, no path timeout, no write batching, no sharded store
-(:attr:`~repro.core.causal_graph.DirectCausalityTracker.supports_snapshot_replay`).
-Ineligible configurations still run under the event engine, with
-full-fidelity ingestion that is literally the tick loop's code.
+(:attr:`~repro.core.causal_graph.DirectCausalityTracker.supports_snapshot_replay`),
+and an ``exact``-mode profiler whose manager cannot downshift it into a
+sketch mode mid-run (batched replayed ``profiler.record`` ops are
+additive for exact buckets but would perturb space-saving
+promotion/eviction order).  Ineligible configurations still run under
+the event engine, with full-fidelity ingestion that is literally the
+tick loop's code.
 """
 
 from __future__ import annotations
@@ -109,8 +113,25 @@ VOLATILE_METRIC_KEYS = frozenset({"graphstore.cross_partition_edges"})
 VOLATILE_METRIC_SUFFIX = "_seconds"
 
 #: Metric base names the profiler maintains itself during replay (the
-#: frozen delta must not double-count them).
-_PROFILER_LIVE_KEYS = frozenset({"profiler.recordings", "profiler.path_completions"})
+#: frozen delta must not double-count them).  The sketch gauges are
+#: updated inside ``profiler.record``/``counts`` too, so they belong
+#: here even though replay requires exact mode (where they stay zero).
+_PROFILER_LIVE_KEYS = frozenset(
+    {
+        "profiler.recordings",
+        "profiler.path_completions",
+        "profiler.sketch_evictions",
+        "profiler.estimate_error",
+    }
+)
+
+
+def _manager_downshift_mode(manager) -> Optional[str]:
+    """The staleness detector's precision downshift, if the manager has one."""
+    detector = getattr(manager, "staleness_detector", None)
+    if detector is None:
+        return None
+    return getattr(detector, "downshift_mode", None)
 
 
 def metric_base_name(key: str) -> str:
@@ -304,6 +325,16 @@ class ReplayIngestor:
             raise ValueError("ReplayIngestor requires a fault-free configuration")
         if not sim.dca.tracker.supports_snapshot_replay:
             raise ValueError("tracker configuration does not support snapshot replay")
+        if sim.dca.profiler.mode != "exact":
+            # Frozen record ops replay as one batched profiler.record per
+            # logical execution; that is additive for exact buckets but
+            # changes space-saving promotion/eviction order in sketch
+            # modes, so sketch-mode runs keep full-fidelity ingestion.
+            raise ValueError("ReplayIngestor requires the exact profiler mode")
+        if _manager_downshift_mode(sim.manager) is not None:
+            raise ValueError(
+                "ReplayIngestor cannot run with a staleness precision downshift configured"
+            )
         self.sim = sim
         self.registry = sim.telemetry
         if active_classes is None:
@@ -320,7 +351,11 @@ class ReplayIngestor:
 
     def ingest(self, now: float, arrivals) -> Dict[str, int]:
         sampled = self.sim._dca_tick(now, arrivals, self._ingest_class)
-        if not self.replaying and all(s.converged for s in self.states.values()):
+        if (
+            not self.replaying
+            and self.sim.dca.profiler.mode == "exact"
+            and all(s.converged for s in self.states.values())
+        ):
             self._freeze_all(now)
         return sampled
 
@@ -463,6 +498,13 @@ class EventDrivenRunner:
             and sim.faults is None
             and sim.dca.fault_injector is None
             and sim.dca.tracker.supports_snapshot_replay
+            # Sketch-mode profilers (and managers that may downshift into
+            # one mid-run) are ineligible: batched replayed record ops
+            # would not compose with space-saving promotion order.  Such
+            # runs still use the event engine with full-fidelity
+            # ingestion — literally the tick loop's code.
+            and sim.dca.profiler.mode == "exact"
+            and _manager_downshift_mode(sim.manager) is None
         )
 
     # -- boundary snapping ------------------------------------------------------

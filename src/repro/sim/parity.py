@@ -135,6 +135,8 @@ def run_engine_parity(
     fault_plan=None,
     path_timeout_minutes: Optional[float] = None,
     max_live_traces_per_class: Optional[int] = None,
+    profiler_mode: str = "exact",
+    profiler_topk: Optional[int] = None,
     diff_dir: Optional[str] = None,
 ) -> ParityReport:
     """Run one seeded configuration under both engines and diff them.
@@ -157,6 +159,9 @@ def run_engine_parity(
         sim_config = SimulationConfig()
         if max_live_traces_per_class is not None:
             sim_config.max_live_traces_per_class = max_live_traces_per_class
+        config_kwargs = {}
+        if profiler_topk is not None:
+            config_kwargs["profiler_topk"] = profiler_topk
         config = ExperimentConfig(
             duration_minutes=duration_minutes,
             seed=seed,
@@ -164,6 +169,8 @@ def run_engine_parity(
             num_shards=num_shards,
             write_batch_size=write_batch_size,
             engine=engine,
+            profiler_mode=profiler_mode,
+            **config_kwargs,
         )
         registry = MetricsRegistry()
         simulator = build_simulator(

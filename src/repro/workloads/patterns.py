@@ -202,3 +202,100 @@ def uniform_mix(class_names: Sequence[str]) -> StepMixSchedule:
     if not class_names:
         raise WorkloadError("uniform_mix requires at least one class name")
     return StepMixSchedule([MixPhase(0.0, {name: 1.0 for name in class_names})])
+
+
+def zipf_weights(class_names: Sequence[str], exponent: float = 1.1) -> Dict[str, float]:
+    """Zipf-distributed class weights: the i-th class gets ``1/i^s``.
+
+    Section II-A's observation that spikes "are seldom uniformly
+    distributed over all search terms" in distribution form: a few hot
+    classes carry most of the traffic, with a long tail.  Classes are
+    weighted in the given order (first = hottest), normalised to sum 1.
+    """
+    if not class_names:
+        raise WorkloadError("zipf_weights requires at least one class name")
+    if exponent <= 0:
+        raise WorkloadError(f"zipf exponent must be positive, got {exponent}")
+    raw = {name: 1.0 / (rank ** exponent) for rank, name in enumerate(class_names, start=1)}
+    total = sum(raw.values())
+    return {name: w / total for name, w in raw.items()}
+
+
+def zipf_mix(class_names: Sequence[str], exponent: float = 1.1) -> StepMixSchedule:
+    """A schedule holding a Zipf-distributed mix for the whole run."""
+    return StepMixSchedule([MixPhase(0.0, zipf_weights(class_names, exponent))])
+
+
+def flash_crowd_pattern(
+    t_minutes: float,
+    base: float = 0.30,
+    peak: float = 1.0,
+    start_minute: float = 180.0,
+    ramp_minutes: float = 5.0,
+    hold_minutes: float = 30.0,
+    decay_minutes: float = 20.0,
+) -> float:
+    """A flash crowd: steady base load, a steep ramp to ``peak``, a hold,
+    then an exponential-ish linear decay back to base."""
+    t = t_minutes
+    if t < 0:
+        raise WorkloadError(f"time must be >= 0, got {t}")
+    if ramp_minutes <= 0 or hold_minutes < 0 or decay_minutes <= 0:
+        raise WorkloadError("flash crowd ramp/hold/decay minutes must be positive")
+    if t < start_minute:
+        return _clamp01(base)
+    if t < start_minute + ramp_minutes:
+        return _clamp01(base + (peak - base) * (t - start_minute) / ramp_minutes)
+    if t < start_minute + ramp_minutes + hold_minutes:
+        return _clamp01(peak)
+    decay_start = start_minute + ramp_minutes + hold_minutes
+    if t < decay_start + decay_minutes:
+        return _clamp01(peak - (peak - base) * (t - decay_start) / decay_minutes)
+    return _clamp01(base)
+
+
+def flash_crowd_mix(
+    class_names: Sequence[str],
+    hot_class: str,
+    start_minute: float = 180.0,
+    ramp_minutes: float = 5.0,
+    hold_minutes: float = 30.0,
+    background_exponent: float = 1.1,
+    hot_share: float = 0.75,
+) -> StepMixSchedule:
+    """A mix schedule where ``hot_class`` abruptly dominates mid-run.
+
+    Before the crowd arrives the mix is Zipf over ``class_names``;
+    during it ``hot_class`` takes ``hot_share`` of all traffic (the
+    remainder stays Zipf-proportional); afterwards the mix returns to
+    the background distribution.  This is the hot-path *shift* case the
+    profiler's sketch tiers must track: a previously cold path becomes
+    the hottest in the window within ``ramp_minutes``.
+    """
+    if hot_class not in class_names:
+        raise WorkloadError(f"hot_class {hot_class!r} not in class_names")
+    if not 0.0 < hot_share < 1.0:
+        raise WorkloadError(f"hot_share must be in (0, 1), got {hot_share}")
+    background = zipf_weights(class_names, background_exponent)
+    cold_total = sum(w for name, w in background.items() if name != hot_class)
+    if cold_total <= 0:  # hot_class is the only class
+        crowd = dict(background)
+    else:
+        crowd = {
+            name: (
+                hot_share
+                if name == hot_class
+                else (1.0 - hot_share) * background[name] / cold_total
+            )
+            for name in class_names
+        }
+    end_minute = start_minute + ramp_minutes + hold_minutes
+    return StepMixSchedule(
+        [
+            MixPhase(0.0, dict(background)),
+            MixPhase(start_minute, dict(background)),
+            MixPhase(start_minute + ramp_minutes, crowd),
+            MixPhase(end_minute, crowd),
+            MixPhase(end_minute + ramp_minutes, dict(background)),
+        ]
+    )

@@ -33,6 +33,25 @@ class TestSeeding:
         assert len(profiler.paths_for_request("go")) == 2
         assert profiler.paths_for_request("other") == []
 
+    def test_paths_for_request_sorted_by_edges(self, profiler):
+        sigs = profiler.paths_for_request("go")
+        assert sigs == sorted(sigs, key=lambda s: s.edges)
+
+    def test_dynamic_registration_appears_in_request_index(self, profiler):
+        # The per-request-type index must be kept current by _register,
+        # not just seeded at construction.
+        dynamic = _sig("z")
+        profiler.record(dynamic, 1.0)
+        sigs = profiler.paths_for_request("go")
+        assert len(sigs) == 3
+        assert dynamic in sigs
+        assert sigs == sorted(sigs, key=lambda s: s.edges)
+        other = signature_from_edges(
+            "new_rt", [(EXTERNAL, "new_rt", "A"), ("A", "done", CLIENT)]
+        )
+        profiler.record(other, 2.0)
+        assert profiler.paths_for_request("new_rt") == [other]
+
 
 class TestRecording:
     def test_record_increments(self, profiler):
@@ -152,3 +171,14 @@ class TestPersistence:
         restored = CausalPathProfiler.from_json(profiler.to_json())
         restored.record(_sig("x"), 6.0)
         assert restored.counts(6.0)[pid] == 2
+
+    def test_round_trip_preserves_last_record_minutes(self, profiler):
+        # A restored checkpoint must not reset staleness detection: the
+        # detector's max_record_age check reads last_record_minutes.
+        profiler.record(_sig("x"), 37.5)
+        restored = CausalPathProfiler.from_json(profiler.to_json())
+        assert restored.last_record_minutes == 37.5
+
+    def test_round_trip_last_record_none(self, profiler):
+        restored = CausalPathProfiler.from_json(profiler.to_json())
+        assert restored.last_record_minutes is None

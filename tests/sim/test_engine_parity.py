@@ -104,6 +104,26 @@ class TestStoreConfigParity:
         _assert_ok(report)
 
 
+class TestProfilerModeParity:
+    """--profiler-mode topk must be engine-agnostic too.
+
+    Sketch modes disable the converged-replay cutover, so both engines
+    drive full-fidelity ingestion through the same sketch state machine;
+    the parity oracle pins that the space-saving promotion order (and
+    everything downstream of the estimated counts) matches bit for bit.
+    """
+
+    def test_topk_mode(self):
+        report = run_engine_parity(
+            "hedwig",
+            "DCA-10%",
+            duration_minutes=PARITY_DURATION,
+            profiler_mode="topk",
+            profiler_topk=64,
+        )
+        _assert_ok(report)
+
+
 class TestParallelRunnerParity:
     def test_workers_compose_with_event_engine(self, tmp_path):
         """run_all_managers(workers=2) is engine-agnostic, bit for bit."""
