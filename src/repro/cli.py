@@ -8,6 +8,7 @@ Commands:
 * ``simulate <scenario>``  — run one elasticity manager over the Fig. 7 workload
 * ``metrics <scenario>``   — run a short simulation and print the telemetry snapshot
 * ``faults <fault>``       — run a seeded fault scenario and print fault/recovery counters
+* ``chaos``                — sweep the chaos matrix (temporal invariants + reliability scores)
 * ``table <scenario…>``    — the Fig. 8 agility + RQ5 SLA tables for all managers
 * ``report <scenario…>``   — write the full markdown report to a file
 
@@ -101,7 +102,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the full telemetry snapshot instead of the summary",
     )
+    p_faults.add_argument(
+        "--parity-diffs", metavar="DIR",
+        help="instead of running a scenario, load and summarise the "
+        "engine-parity diff artifacts under DIR (malformed or empty "
+        "artifacts are a hard error, not a silent pass)",
+    )
     _add_store_options(p_faults)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="sweep the chaos matrix: seeded fault-space grid with temporal "
+        "invariant checking and per-cell reliability scores",
+    )
+    p_chaos.add_argument(
+        "--cells", type=int, default=64,
+        help="matrix cells to sweep (strided across every axis; "
+        "0 = the full grid)",
+    )
+    p_chaos.add_argument(
+        "--repeats", type=int, default=2,
+        help="seeded runs per cell (reliability statistics need > 1)",
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers for the cell runs (1 = serial)",
+    )
+    p_chaos.add_argument("--app", choices=sorted(SCENARIOS), default="hedwig")
+    p_chaos.add_argument("--manager", choices=MANAGER_NAMES, default="DCA-10%")
+    p_chaos.add_argument("--duration", type=int, default=36, help="run minutes per cell")
+    p_chaos.add_argument("--seed", type=int, default=7, help="matrix base seed")
+    p_chaos.add_argument(
+        "--path-timeout", type=float, default=5.0,
+        help="minutes before a partial causal path is abandoned",
+    )
+    p_chaos.add_argument(
+        "--bundle-dir", metavar="DIR",
+        help="write a replay bundle (chaos-<cell-id>-r<N>.json) for every "
+        "failing run into DIR",
+    )
+    p_chaos.add_argument(
+        "--replay", metavar="CELL_ID",
+        help="re-run one cell bit-identically from its id instead of sweeping",
+    )
+    p_chaos.add_argument(
+        "--repeat", type=int, default=0,
+        help="with --replay: which repeated run to reproduce (default 0)",
+    )
+    p_chaos.add_argument(
+        "--expect-digest", metavar="SHA256",
+        help="with --replay: fail unless the replayed telemetry digest "
+        "matches (from the sweep output or a replay bundle)",
+    )
+    p_chaos.add_argument(
+        "--list", action="store_true",
+        help="print the selected cells without running them",
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true",
+        help="print the sweep report as JSON",
+    )
 
     p_table = sub.add_parser("table", help="Fig. 8 agility + RQ5 SLA tables")
     p_table.add_argument("scenarios", nargs="+", choices=sorted(SCENARIOS))
@@ -244,9 +304,12 @@ _FAULT_SUMMARY_KEYS = (
     "faults.node_crashes",
     "tracker.store_write_retries",
     "tracker.dead_letters",
+    "tracker.duplicate_dead_letters_suppressed",
     "store.dead_letter_depth",
     "store.dead_letter_dropped",
+    "store.dead_letter_purged",
     "tracker.delayed_messages_delivered",
+    "tracker.late_messages_discarded",
     "tracker.paths_abandoned",
     "tracker.abandoned_nodes",
     "tracker.profiler_records_lost",
@@ -262,6 +325,8 @@ def _cmd_faults(args) -> int:
     from repro.evalx.experiment import DCA_RATES, build_simulator
     from repro.telemetry import MetricsRegistry
 
+    if args.parity_diffs:
+        return _report_parity_diffs(args.parity_diffs)
     if args.list or args.fault is None:
         for name in sorted(FAULT_SCENARIOS):
             print(f"{name:16s} {FAULT_SCENARIOS[name].description}")
@@ -299,6 +364,148 @@ def _cmd_faults(args) -> int:
         if metric is not None:
             print(f"  {key:40s}: {metric.value:.0f}")
     return 0
+
+
+def _report_parity_diffs(target: str) -> int:
+    """Summarise dumped engine-parity artifacts; bad input is a hard error."""
+    from repro.sim.parity import scan_parity_diff_dir
+
+    reports = scan_parity_diff_dir(target)
+    if not reports:
+        print(f"no parity diff artifacts under {target} (all parity runs passed)")
+        return 0
+    diverged = 0
+    for report in reports:
+        status = "OK" if report["ok"] else "DIVERGED"
+        if not report["ok"]:
+            diverged += 1
+        print(
+            f"[{status}] {report['scenario']}/{report['manager']} "
+            f"seed={report['seed']} duration={report['duration_minutes']}: "
+            f"{len(report['record_diffs'])} record, "
+            f"{len(report['snapshot_diffs'])} snapshot, "
+            f"{len(report['state_diffs'])} state diff(s)"
+        )
+        for line in list(report["record_diffs"])[:5]:
+            print(f"    {line}")
+        for line in list(report["snapshot_diffs"])[:5]:
+            print(f"    {line}")
+    print(f"{diverged}/{len(reports)} artifact(s) record a divergence")
+    return 1 if diverged else 0
+
+
+def _cmd_chaos(args) -> int:
+    import json as _json
+
+    from repro.chaos import ChaosMatrix, MatrixConfig, replay_cell, run_matrix
+
+    matrix = ChaosMatrix(
+        MatrixConfig(
+            app=args.app,
+            manager=args.manager,
+            duration_minutes=args.duration,
+            base_seed=args.seed,
+            path_timeout_minutes=args.path_timeout,
+        )
+    )
+    if args.replay:
+        result = replay_cell(
+            matrix, args.replay, repeat=args.repeat,
+            expected_digest=args.expect_digest,
+        )
+        cell = matrix.cell_by_id(args.replay)
+        status = "PASS" if result.passed else "FAIL"
+        print(
+            f"replayed cell {args.replay} (repeat {result.repeat}, "
+            f"seed {result.seed}): {status}"
+        )
+        print(f"  {cell.fault_profile} window=[{cell.start_minute},{cell.end_minute}) "
+              f"crashes={cell.crash_schedule} shards={cell.num_shards} "
+              f"batch={cell.write_batch_size} engine={cell.engine} "
+              f"profiler={cell.profiler_mode}")
+        print(f"  telemetry digest : {result.telemetry_digest}")
+        if args.expect_digest:
+            print("  digest matches the recorded run (bit-identical replay)")
+        for violation in result.violations:
+            print(f"  [{violation.invariant}] @{violation.minute:g}m {violation.detail}")
+        for key, value in sorted(result.headline.items()):
+            print(f"  {key:45s}: {value:.0f}")
+        return 0 if result.passed else 1
+
+    cells = matrix.select(args.cells if args.cells > 0 else None)
+    if args.list:
+        for cell in cells:
+            print(
+                f"{cell.cell_id}  {cell.fault_profile:14s} "
+                f"[{cell.start_minute:>4g},{cell.end_minute:>4g}) "
+                f"crashes={cell.crash_schedule:4s} shards={cell.num_shards} "
+                f"batch={cell.write_batch_size:<3d} {cell.engine:5s} "
+                f"{cell.profiler_mode}"
+            )
+        print(f"{len(cells)} cell(s) of {matrix.total_cells} in the full grid")
+        return 0
+    reports = run_matrix(
+        cells, repeats=args.repeats, workers=args.workers,
+        bundle_dir=args.bundle_dir,
+    )
+    if args.json:
+        payload = []
+        for report in reports:
+            payload.append(
+                {
+                    "cell": report.cell.canonical(),
+                    "cell_id": report.cell.cell_id,
+                    "passed": report.passed,
+                    "score": report.score.to_dict(),
+                    "runs": [
+                        {
+                            "repeat": run.repeat,
+                            "seed": run.seed,
+                            "telemetry_digest": run.telemetry_digest,
+                            "violations": [v.to_dict() for v in run.violations],
+                        }
+                        for run in report.runs
+                    ],
+                }
+            )
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if all(r.passed for r in reports) else 1
+    failing = [r for r in reports if not r.passed]
+    print(
+        f"chaos sweep: {len(cells)} cell(s) x {args.repeats} run(s), "
+        f"{args.manager} over {args.duration} min of {args.app}, "
+        f"base seed {args.seed}"
+    )
+    for report in reports:
+        score = report.score
+        status = "PASS" if report.passed else "FAIL"
+        cell = report.cell
+        print(
+            f"  [{status}] {cell.cell_id}  {cell.fault_profile:14s} "
+            f"[{cell.start_minute:>4g},{cell.end_minute:>4g}) "
+            f"crashes={cell.crash_schedule:4s} shards={cell.num_shards} "
+            f"batch={cell.write_batch_size:<3d} {cell.engine:5s} "
+            f"{cell.profiler_mode:5s} "
+            f"rel={score.adjusted_rate:.2f} "
+            f"ci=[{score.ci_low:.2f},{score.ci_high:.2f}]"
+        )
+        if not report.passed:
+            for run in report.runs:
+                for violation in run.violations[:3]:
+                    print(
+                        f"        r{run.repeat} [{violation.invariant}] "
+                        f"@{violation.minute:g}m {violation.detail}"
+                    )
+            print(
+                f"        replay: repro chaos --replay {cell.cell_id} "
+                f"--app {cell.app} --manager '{cell.manager}' "
+                f"--duration {cell.duration_minutes} --seed {cell.base_seed}"
+            )
+    print(
+        f"{len(cells) - len(failing)}/{len(cells)} cell(s) passed every "
+        "invariant on every run"
+    )
+    return 1 if failing else 0
 
 
 def _cmd_table(args) -> int:
@@ -355,6 +562,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "metrics": _cmd_metrics,
     "faults": _cmd_faults,
+    "chaos": _cmd_chaos,
     "table": _cmd_table,
     "report": _cmd_report,
 }

@@ -35,6 +35,23 @@ recovery mechanisms live here:
 * **Dangling-edge repair** — the maintenance pass asks the store to
   detach raw edges whose effect node never arrived, restoring the O(1)
   eviction path.
+
+Accounting invariants (checked by the chaos harness, :mod:`repro.chaos`):
+
+* A uid is *either* delivered (stored, possibly later completed or
+  abandoned) *or* dead-lettered — never both.  When a duplicated
+  message's second copy exhausts its write retries while the first copy
+  already landed, the failure is counted as
+  ``tracker.duplicate_dead_letters_suppressed`` instead of a dead
+  letter (the uid *is* in the store).
+* An abandoned root stays abandoned: late messages for it (typically
+  fault-delayed deliveries due after the path timeout) are discarded
+  and counted (``tracker.late_messages_discarded``) instead of
+  re-registering the root — which would resurrect a partial graph and
+  double-count ``tracker.paths_abandoned`` for the same root.
+* Abandoning a root also purges its parked dead letters
+  (``store.dead_letter_purged``), so a uid is never simultaneously
+  "parked for replay" and "reclaimed by abandonment".
 """
 
 from __future__ import annotations
@@ -130,6 +147,10 @@ class DirectCausalityTracker:
         self._m_dead_letters = self.telemetry.counter("tracker.dead_letters")
         self._m_abandoned = self.telemetry.counter("tracker.paths_abandoned")
         self._m_abandoned_nodes = self.telemetry.counter("tracker.abandoned_nodes")
+        self._m_dup_suppressed = self.telemetry.counter(
+            "tracker.duplicate_dead_letters_suppressed"
+        )
+        self._m_late_discarded = self.telemetry.counter("tracker.late_messages_discarded")
         self._m_delivered_late = self.telemetry.counter("tracker.delayed_messages_delivered")
         self._m_records_lost = self.telemetry.counter("tracker.profiler_records_lost")
         self._flush_timer = self.telemetry.timer("tracker.flush_seconds")
@@ -141,6 +162,14 @@ class DirectCausalityTracker:
         # order because the simulation clock is monotonic); only
         # maintained when a path timeout is configured.
         self._root_first_seen: Dict[MessageUid, float] = {}
+        # Roots reclaimed by the abandonment sweep (insertion-ordered,
+        # bounded): late messages for them are discarded so an abandoned
+        # root can never resurrect or be abandoned twice.
+        self._abandoned_roots: Dict[MessageUid, None] = {}
+        self._max_abandoned_roots = 4096
+        #: Optional :class:`~repro.sim.tap.SimTap`; emit-only, installed
+        #: by the engine via :meth:`attach_tap` (chaos runs only).
+        self.tap = None
         # (due_minute, message) queue of fault-delayed messages.
         self._delayed: List[Tuple[float, Message]] = []
         self._now_minutes = 0.0
@@ -182,6 +211,17 @@ class DirectCausalityTracker:
     def completed_paths(self) -> int:
         """Causal paths this tracker has closed (registry-backed)."""
         return int(self._m_completed.value - self._base_completed)
+
+    def attach_tap(self, tap) -> None:
+        """Install a :class:`~repro.sim.tap.SimTap` on the write path.
+
+        Emit-only: a tapped tracker makes exactly the same decisions and
+        RNG draws as an untapped one.  The pipeline shares the tap so
+        dead letters are reported wherever the write-fault roll lives.
+        """
+        self.tap = tap
+        if self._pipeline is not None:
+            self._pipeline.tap = tap
 
     @property
     def supports_snapshot_replay(self) -> bool:
@@ -305,6 +345,8 @@ class DirectCausalityTracker:
                 return
             if injector.should_duplicate_message():
                 copies = 2
+        if self._abandoned_roots and self._discard_if_abandoned(message):
+            return
         for _ in range(copies):
             if not self._submit(message):
                 return
@@ -315,12 +357,39 @@ class DirectCausalityTracker:
             if root not in self._root_first_seen:
                 self._root_first_seen[root] = self._now_minutes
 
+    def _discard_if_abandoned(self, message: Message) -> bool:
+        """Drop a message whose root the abandonment sweep reclaimed.
+
+        Without this guard a late message (typically a fault-delayed
+        delivery due *after* the path timeout) re-registers the root,
+        resurrects a partial graph in the store, and the root is
+        eventually abandoned a second time — double-counting
+        ``tracker.paths_abandoned`` and pinning store memory the sweep
+        already reclaimed.
+        """
+        root = message.root_uid
+        if root is None:
+            root = message.uid
+        if root not in self._abandoned_roots:
+            return False
+        self._m_late_discarded.inc()
+        if self.tap is not None:
+            self.tap.emit("late_message_discarded", root=repr(root), uid=repr(message.uid))
+        return True
+
     def _store_with_retry(self, message: Message) -> bool:
         """Write with bounded retry; dead-letter on exhaustion.
 
         Returns whether the message made it into the store.  Backoff is
         simulated (counted, not slept): the monitoring host must keep
         draining its queue during a store brownout.
+
+        A uid that is *already stored* (an earlier duplicate copy
+        landed) is never dead-lettered: the message was delivered, so a
+        permanent failure of the redundant copy is counted as
+        ``tracker.duplicate_dead_letters_suppressed`` instead — without
+        this, the same uid would be accounted as both stored (and so a
+        member of a completable path) and dead-lettered.
         """
         for attempt in range(self.max_write_retries + 1):
             try:
@@ -331,8 +400,14 @@ class DirectCausalityTracker:
                     break
                 self._m_retries.inc()
                 self._m_backoff_ms.inc(self.retry_backoff_ms * (2 ** attempt))
+        if self.store.contains(message.uid):
+            self._m_dup_suppressed.inc()
+            return True
         self._m_dead_letters.inc()
         self.dead_letters.append(message)
+        if self.tap is not None:
+            root = message.root_uid if message.root_uid is not None else message.uid
+            self.tap.emit("dead_letter", uid=repr(message.uid), root=repr(root))
         return False
 
     def _deliver_due(self) -> None:
@@ -348,6 +423,8 @@ class DirectCausalityTracker:
             return
         self._delayed = [(eta, m) for eta, m in self._delayed if eta > now]
         for message in due:
+            if self._abandoned_roots and self._discard_if_abandoned(message):
+                continue
             if self._submit(message) and self.path_timeout_minutes is not None:
                 root = message.root_uid
                 if root is None:
@@ -391,6 +468,24 @@ class DirectCausalityTracker:
                 removed += self.store.abandon_root(root)
         self._m_abandoned.inc(len(to_sweep))
         self._m_abandoned_nodes.inc(removed)
+        for root in to_sweep:
+            self._abandoned_roots[root] = None
+            if self.tap is not None:
+                self.tap.emit("path_abandoned", root=repr(root))
+        while len(self._abandoned_roots) > self._max_abandoned_roots:
+            self._abandoned_roots.pop(next(iter(self._abandoned_roots)))
+        # A parked dead letter whose root was just reclaimed must not
+        # stay parked: replaying it later could only resurrect the
+        # abandoned root, and until then the uid would be accounted as
+        # both dead-lettered-pending and abandoned.
+        if len(self.dead_letters):
+            purged = self.dead_letters.purge_roots(to_sweep)
+            if self.tap is not None:
+                for message in purged:
+                    root = message.root_uid if message.root_uid is not None else message.uid
+                    self.tap.emit(
+                        "dead_letter_purged", uid=repr(message.uid), root=repr(root)
+                    )
 
     # -- completion --------------------------------------------------------------
 
@@ -422,6 +517,18 @@ class DirectCausalityTracker:
             self._m_discarded.inc()
             return False
         request_type, edges = completed
+        if self.tap is not None:
+            if root in self._abandoned_roots:
+                # Unreachable by design (late messages for abandoned
+                # roots are discarded before the store sees them); the
+                # emission exists so the invariant checker fails loudly
+                # if a future code path breaks that guarantee.
+                self.tap.emit("root_resurrected", root=repr(root))
+            self.tap.emit(
+                "path_completed",
+                root=repr(root),
+                members=tuple(repr(uid) for uid in self.store.graph_members(root)),
+            )
         injector = self.fault_injector
         if injector is not None and injector.should_lose_profiler_flush():
             # The path closed but its count never reached the profiler —

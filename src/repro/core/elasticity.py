@@ -147,6 +147,10 @@ class ProfileStalenessDetector:
         self._m_downshifts = self.telemetry.counter("elasticity.precision_downshifts")
         self._m_restores = self.telemetry.counter("elasticity.precision_restores")
         self._m_active.set(0.0)
+        #: Optional :class:`~repro.sim.tap.SimTap`; when set, every
+        #: :meth:`update` emits one ``staleness`` event so the chaos
+        #: invariant checker can bound the re-engagement lag.  Emit-only.
+        self.tap = None
 
     def update(self, now_minutes: float) -> bool:
         policy = self.policy
@@ -176,6 +180,10 @@ class ProfileStalenessDetector:
                 self._m_recoveries.inc()
                 self._maybe_restore()
         self._m_active.set(1.0 if self.engaged else 0.0)
+        if self.tap is not None:
+            self.tap.emit(
+                "staleness", healthy=not (sparse or too_old), engaged=self.engaged
+            )
         return self.engaged
 
     def _maybe_downshift(self) -> None:

@@ -59,3 +59,12 @@ class ElasticityError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised by the evaluation harness (metric misuse, bad experiment)."""
+
+
+class ParityArtifactError(ReproError):
+    """A parity/replay diff artifact is missing, empty, or malformed.
+
+    Raised by the artifact loaders (:mod:`repro.sim.parity`,
+    :mod:`repro.chaos`) so a truncated or partially-written
+    ``PARITY_DIFF_DIR``/replay-bundle file surfaces as a clear failure
+    instead of being silently treated as "no divergence"."""

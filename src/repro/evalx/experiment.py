@@ -128,6 +128,7 @@ def build_simulator(
     fault_plan: Optional[FaultPlan] = None,
     path_timeout_minutes: Optional[float] = None,
     manager_config: Optional[DCAManagerConfig] = None,
+    tap=None,
 ) -> ClusterSimulator:
     """Construct a fully wired simulator for one manager over one scenario.
 
@@ -139,6 +140,8 @@ def build_simulator(
     its scheduled node crashes (they have no DCA pipeline to disturb).
     ``manager_config`` overrides the DCA manager tunables — e.g. to
     enable the staleness fallback — and is ignored for the baselines.
+    ``tap`` installs a :class:`~repro.sim.tap.SimTap` across the run's
+    hook points (emit-only; the chaos invariant checker consumes it).
     """
     cfg = config or ExperimentConfig()
     generator = _make_generator(scenario, cfg.seed)
@@ -151,13 +154,13 @@ def build_simulator(
         manager: ElasticityManager = CloudWatchManager()
         return ClusterSimulator(
             scenario.app, generator, dict(scenario.deployments), machine, manager,
-            config=cfg.sim, telemetry=registry, faults=baseline_faults,
+            config=cfg.sim, telemetry=registry, faults=baseline_faults, tap=tap,
         )
     if manager_name == "ElasticRMI":
         manager = ElasticRMIManager()
         return ClusterSimulator(
             scenario.app, generator, dict(scenario.deployments), machine, manager,
-            config=cfg.sim, telemetry=registry, faults=baseline_faults,
+            config=cfg.sim, telemetry=registry, faults=baseline_faults, tap=tap,
         )
     if manager_name == "HTrace+CW":
         collector = HTraceCollector(seed=cfg.seed)
@@ -172,6 +175,7 @@ def build_simulator(
             htrace=collector,
             telemetry=registry,
             faults=baseline_faults,
+            tap=tap,
         )
     rate = DCA_RATES.get(manager_name)
     if rate is None:
@@ -214,6 +218,7 @@ def build_simulator(
         config=cfg.sim,
         dca=bundle,
         telemetry=registry,
+        tap=tap,
     )
 
 

@@ -106,4 +106,21 @@ class FaultPlan:
         )
 
     def active_at(self, minute: float) -> bool:
+        """Whether the fault window covers ``minute``.
+
+        **Pinned contract: the window is half-open,** ``[start_minute,
+        end_minute)``.  A roll at exactly ``end_minute`` is *outside* the
+        window — the outage has ended and recovery machinery (retry
+        success, staleness re-engagement) must see a healthy system at
+        that boundary.  Both engines evaluate this at the same clock
+        values: the tick loop calls ``advance_to`` at interval
+        boundaries, and the event engine snaps crash/delivery timestamps
+        *up* to those same boundaries before rolling any channel
+        (``EventDrivenRunner._snap_up``), so a window ending exactly on
+        a boundary can neither double-fire nor silently skip faults at
+        the edge.  ``tests/faults/test_window_boundaries.py`` pins this
+        at exact boundary minutes under both engines.  Scheduled node
+        crashes deliberately ignore the window (see
+        :meth:`FaultInjector.node_crashes_due`).
+        """
         return self.start_minute <= minute < self.end_minute

@@ -67,6 +67,7 @@ class DeadLetterQueue:
         self.telemetry = registry if registry is not None else get_registry()
         self._items: Deque[Message] = deque()
         self._m_dropped = self.telemetry.counter("store.dead_letter_dropped")
+        self._m_purged = self.telemetry.counter("store.dead_letter_purged")
         self._m_depth = self.telemetry.gauge("store.dead_letter_depth")
 
     def append(self, message: Message) -> None:
@@ -86,6 +87,34 @@ class DeadLetterQueue:
         self._items.clear()
         self._m_depth.set(0)
         return drained
+
+    def purge_roots(self, roots) -> List[Message]:
+        """Remove parked messages belonging to ``roots``; return them.
+
+        Called by the tracker's abandonment sweep: a dead letter whose
+        root has been reclaimed can never be usefully replayed (doing so
+        would resurrect the abandoned root), so keeping it parked would
+        account the same uid as both dead-lettered-pending and
+        abandoned.  Purged messages are counted separately
+        (``store.dead_letter_purged``) so the dead-letter ledger stays
+        exact: ``tracker.dead_letters == depth + dropped + purged``.
+        """
+        root_set = set(roots)
+        if not root_set or not self._items:
+            return []
+        purged: List[Message] = []
+        kept: Deque[Message] = deque()
+        for message in self._items:
+            root = message.root_uid if message.root_uid is not None else message.uid
+            if root in root_set:
+                purged.append(message)
+            else:
+                kept.append(message)
+        if purged:
+            self._items = kept
+            self._m_purged.inc(len(purged))
+            self._m_depth.set(len(kept))
+        return purged
 
     @property
     def dropped(self) -> int:
@@ -139,7 +168,14 @@ class BatchedWritePipeline:
             self._route = None
         self._buffers: List[List[Message]] = [[] for _ in self._targets]
         self._buffered = 0
+        # Uids currently sitting in a buffer: the dead-letter
+        # suppression check must see writes that have been accepted but
+        # not yet flushed into the store.
+        self._buffered_uids: set = set()
         self._last_flush_minute = 0.0
+        #: Optional :class:`~repro.sim.tap.SimTap` (shared with the
+        #: tracker via ``attach_tap``); emit-only.
+        self.tap = None
         self.telemetry = registry if registry is not None else get_registry()
         self.dead_letters = (
             dead_letters
@@ -157,6 +193,9 @@ class BatchedWritePipeline:
         self._m_retries = self.telemetry.counter("tracker.store_write_retries")
         self._m_backoff_ms = self.telemetry.counter("tracker.retry_backoff_ms")
         self._m_dead_letters = self.telemetry.counter("tracker.dead_letters")
+        self._m_dup_suppressed = self.telemetry.counter(
+            "tracker.duplicate_dead_letters_suppressed"
+        )
 
     # -- write side --------------------------------------------------------------
 
@@ -186,8 +225,26 @@ class BatchedWritePipeline:
                 backoff = self.retry_backoff_ms
                 self._m_backoff_ms.inc(backoff * ((1 << retries) - 1))
                 if failures > max_retries:
+                    # Same suppression rule as the unbatched retry loop:
+                    # a uid an earlier duplicate copy already delivered
+                    # (buffered or flushed) is not a dead letter — the
+                    # write is redundant, not lost.
+                    if message.uid in self._buffered_uids or self.store.contains(
+                        message.uid
+                    ):
+                        self._m_dup_suppressed.inc()
+                        return True
                     self._m_dead_letters.inc()
                     self.dead_letters.append(message)
+                    if self.tap is not None:
+                        root = (
+                            message.root_uid
+                            if message.root_uid is not None
+                            else message.uid
+                        )
+                        self.tap.emit(
+                            "dead_letter", uid=repr(message.uid), root=repr(root)
+                        )
                     return False
         route = self._route
         index = 0 if route is None else route(
@@ -196,6 +253,7 @@ class BatchedWritePipeline:
         buffer = self._buffers[index]
         buffer.append(message)
         self._buffered += 1
+        self._buffered_uids.add(message.uid)
         if len(buffer) >= self.batch_size:
             self._flush_shard(index)
         return True

@@ -46,7 +46,7 @@ class DeploymentSpec:
 class ComponentGroup:
     """Replica group of one component with a provisioning pipeline."""
 
-    def __init__(self, component: str, spec: DeploymentSpec) -> None:
+    def __init__(self, component: str, spec: DeploymentSpec, tap=None) -> None:
         self.component = component
         self.spec = spec
         self.ready = spec.initial_nodes
@@ -54,6 +54,11 @@ class ComponentGroup:
         self._pending: List[Tuple[float, int]] = []
         # list of (release_at_minute, count)
         self._draining: List[Tuple[float, int]] = []
+        #: Optional :class:`~repro.sim.tap.SimTap`; emit-only (hooks
+        #: never mutate state or consume randomness).
+        self.tap = tap
+        if tap is not None:
+            tap.emit("replica_init", component=component, ready=self.ready)
 
     # -- state ------------------------------------------------------------------
 
@@ -84,6 +89,13 @@ class ComponentGroup:
         self._pending = [(eta, c) for eta, c in self._pending if eta > now_minutes]
         for _, count in matured:
             self.ready += count
+        if matured and self.tap is not None:
+            self.tap.emit(
+                "provision_matured",
+                component=self.component,
+                count=sum(c for _, c in matured),
+                ready=self.ready,
+            )
         self._draining = [(eta, c) for eta, c in self._draining if eta > now_minutes]
 
     def transition_times(self) -> List[float]:
@@ -102,6 +114,13 @@ class ComponentGroup:
             raise SimulationError(f"failure count must be >= 0, got {count}")
         failed = min(count, self.ready)
         self.ready -= failed
+        if failed and self.tap is not None:
+            self.tap.emit(
+                "nodes_crashed",
+                component=self.component,
+                count=failed,
+                ready=self.ready,
+            )
         return failed
 
     def apply_target(
@@ -116,16 +135,38 @@ class ComponentGroup:
         current = self.ready + self.pending
         if target > current:
             add = target - current
-            self._pending.append((now_minutes + provision_delay_minutes, add))
+            eta = now_minutes + provision_delay_minutes
+            self._pending.append((eta, add))
+            if self.tap is not None:
+                self.tap.emit(
+                    "provision_requested",
+                    component=self.component,
+                    count=add,
+                    eta=eta,
+                )
         elif target < current:
             remove = current - target
             # Cancel pending first (cheapest), then drain ready nodes.
+            requested = remove
             remove = self._cancel_pending(remove)
+            if requested != remove and self.tap is not None:
+                self.tap.emit(
+                    "pending_cancelled",
+                    component=self.component,
+                    count=requested - remove,
+                )
             if remove > 0:
                 removable = min(remove, self.ready - self.spec.min_nodes)
                 if removable > 0:
                     self.ready -= removable
                     self._draining.append((now_minutes + deprovision_delay_minutes, removable))
+                    if self.tap is not None:
+                        self.tap.emit(
+                            "drain_started",
+                            component=self.component,
+                            count=removable,
+                            ready=self.ready,
+                        )
 
     def _cancel_pending(self, remove: int) -> int:
         """Cancel up to ``remove`` pending nodes; return the remainder."""
@@ -150,13 +191,15 @@ class Cluster:
         deployments: Dict[str, DeploymentSpec],
         provision_delay_minutes: float = 2.0,
         deprovision_delay_minutes: float = 1.0,
+        tap=None,
     ) -> None:
         if not deployments:
             raise SimulationError("cluster requires at least one component deployment")
         if provision_delay_minutes < 0 or deprovision_delay_minutes < 0:
             raise SimulationError("provisioning delays must be >= 0")
         self.groups: Dict[str, ComponentGroup] = {
-            name: ComponentGroup(name, spec) for name, spec in sorted(deployments.items())
+            name: ComponentGroup(name, spec, tap=tap)
+            for name, spec in sorted(deployments.items())
         }
         self.provision_delay_minutes = float(provision_delay_minutes)
         self.deprovision_delay_minutes = float(deprovision_delay_minutes)

@@ -246,6 +246,7 @@ class ClusterSimulator:
         htrace: Optional[HTraceCollector] = None,
         telemetry: Optional[MetricsRegistry] = None,
         faults: Optional[FaultInjector] = None,
+        tap=None,
     ) -> None:
         self.app = app
         self.generator = generator
@@ -254,6 +255,16 @@ class ClusterSimulator:
         self.config = config or SimulationConfig()
         self.dca = dca
         self.htrace = htrace
+        #: Optional :class:`~repro.sim.tap.SimTap` shared with every hook
+        #: point (cluster groups, tracker/pipeline, staleness detector).
+        #: Emit-only: installing it never changes simulation behaviour.
+        self.tap = tap
+        if tap is not None:
+            if dca is not None:
+                dca.tracker.attach_tap(tap)
+            detector = getattr(manager, "staleness_detector", None)
+            if detector is not None:
+                detector.tap = tap
         # The engine owns the injector clock and the crash schedule; the
         # tracker/store side shares the same injector via the DCA bundle.
         if faults is not None:
@@ -280,6 +291,7 @@ class ClusterSimulator:
             deployments,
             provision_delay_minutes=self.config.provision_delay_minutes,
             deprovision_delay_minutes=self.config.deprovision_delay_minutes,
+            tap=tap,
         )
         self._calibration_runtime = (
             dca.runtime if dca is not None else ApplicationRuntime(app)
@@ -373,6 +385,8 @@ class ClusterSimulator:
         ingestor=None,
         arrivals: Optional[Mapping[str, int]] = None,
     ) -> Tuple[IntervalRecord, ClusterObservation]:
+        if self.tap is not None:
+            self.tap.now = now
         self.cluster.advance(now)
         if self.faults is not None:
             self.faults.advance_to(now)
@@ -558,7 +572,15 @@ class ClusterSimulator:
         comp_obs: Dict[str, ComponentObservation] = {}
         comp_intervals: Dict[str, ComponentInterval] = {}
         node_cap = self.machine.capacity_ms_per_minute
+        tap = self.tap
         for comp, group in self.cluster.groups.items():
+            if tap is not None:
+                tap.emit(
+                    "replica_observed",
+                    component=comp,
+                    ready=group.ready,
+                    pending=group.pending,
+                )
             demand = base_demand.get(comp, 0.0) + overhead.get(comp, 0.0)
             effective = max(1, group.effective_nodes())
             capacity = effective * node_cap

@@ -553,6 +553,11 @@ class EventDrivenRunner:
                 break
             time_, _priority, _seq, kind, data = event
             self.events_processed[kind] += 1
+            # Stamp the tap clock per event (run_interval restamps it in
+            # _step) so hooks fired by crash/transition/delivery handlers
+            # carry the event's timestamp, matching tick-loop emissions.
+            if sim.tap is not None:
+                sim.tap.now = time_
             if kind == "interval":
                 sim.run_interval(time_, result, ingestor=ingest, arrivals=arrivals[data])
                 self._schedule_followups(time_, horizon)

@@ -30,12 +30,27 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.errors import ParityArtifactError
 from repro.sim.events import is_volatile_metric_key
 from repro.sim.metrics import SimulationResult
 from repro.telemetry import MetricsRegistry
 
 #: Environment variable naming a directory for JSON diff artifacts.
 PARITY_DIFF_DIR_ENV = "PARITY_DIFF_DIR"
+
+#: Keys every dumped parity artifact must carry; a JSON file missing any
+#: of them was not written by :meth:`ParityReport.to_dict` (truncated
+#: write, disk full, wrong file) and must not be interpreted.
+_REPORT_REQUIRED_KEYS = (
+    "scenario",
+    "manager",
+    "seed",
+    "duration_minutes",
+    "ok",
+    "record_diffs",
+    "snapshot_diffs",
+    "state_diffs",
+)
 
 
 @dataclass
@@ -137,15 +152,21 @@ def run_engine_parity(
     max_live_traces_per_class: Optional[int] = None,
     profiler_mode: str = "exact",
     profiler_topk: Optional[int] = None,
+    interval_minutes: Optional[float] = None,
     diff_dir: Optional[str] = None,
 ) -> ParityReport:
     """Run one seeded configuration under both engines and diff them.
 
     Every knob that shapes the run — shards, write batching, fault
-    plans, path timeouts, live-trace caps — is accepted so CI can prove
-    parity composes with the whole configuration space, not just the
-    defaults.  On divergence the report is written to ``diff_dir`` (or
-    ``$PARITY_DIFF_DIR``) as JSON.
+    plans, path timeouts, live-trace caps, interval length — is accepted
+    so CI can prove parity composes with the whole configuration space,
+    not just the defaults.  ``interval_minutes`` matters for the
+    fault-window boundary contract: ``FaultPlan.active_at`` is half-open
+    (``start <= minute < end``) and both engines must agree at exactly
+    ``end_minute`` for any interval length (the event engine snaps
+    crash/delivery timestamps to interval boundaries).  On divergence
+    the report is written to ``diff_dir`` (or ``$PARITY_DIFF_DIR``) as
+    JSON.
     """
     from repro.apps.catalog import load_scenario
     from repro.evalx.experiment import ExperimentConfig, build_simulator
@@ -159,6 +180,8 @@ def run_engine_parity(
         sim_config = SimulationConfig()
         if max_live_traces_per_class is not None:
             sim_config.max_live_traces_per_class = max_live_traces_per_class
+        if interval_minutes is not None:
+            sim_config.interval_minutes = interval_minutes
         config_kwargs = {}
         if profiler_topk is not None:
             config_kwargs["profiler_topk"] = profiler_topk
@@ -221,3 +244,85 @@ def _dump_report(report: ParityReport, diff_dir: Optional[str]) -> Optional[str]
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report.to_dict(), fh, indent=2, sort_keys=True, default=str)
     return path
+
+
+# -- artifact loading (hardened; mirrors check_regression's input gates) -------
+
+
+def load_parity_report(path: str) -> Dict[str, object]:
+    """Load one dumped parity artifact, failing loudly on bad input.
+
+    A missing, empty, truncated, or structurally wrong file raises
+    :class:`~repro.errors.ParityArtifactError` with the exact reason —
+    never returning a dict a caller could misread as "the engines
+    agreed".  This mirrors the ``check_regression`` hardening for
+    ``BENCH_*.json`` inputs: silent passes on corrupt CI artifacts are
+    worse than failures.
+    """
+    if not os.path.exists(path):
+        raise ParityArtifactError(f"parity artifact not found: {path}")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise ParityArtifactError(f"cannot read parity artifact {path}: {exc}") from exc
+    if not raw.strip():
+        raise ParityArtifactError(
+            f"parity artifact {path} is empty (partially-written or truncated "
+            "dump) — treat the parity run as failed, not passed"
+        )
+    try:
+        data = json.loads(raw)
+    except ValueError as exc:
+        raise ParityArtifactError(
+            f"parity artifact {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ParityArtifactError(
+            f"parity artifact {path} must be a JSON object, got {type(data).__name__}"
+        )
+    missing = [key for key in _REPORT_REQUIRED_KEYS if key not in data]
+    if missing:
+        raise ParityArtifactError(
+            f"parity artifact {path} is missing required keys {missing} "
+            "(not a ParityReport dump)"
+        )
+    for key in ("record_diffs", "snapshot_diffs", "state_diffs"):
+        if not isinstance(data[key], list):
+            raise ParityArtifactError(
+                f"parity artifact {path}: {key!r} must be a list, "
+                f"got {type(data[key]).__name__}"
+            )
+    if data["ok"] and (
+        data["record_diffs"] or data["snapshot_diffs"] or data["state_diffs"]
+    ):
+        raise ParityArtifactError(
+            f"parity artifact {path} is inconsistent: ok=true but diffs present"
+        )
+    return data
+
+
+def scan_parity_diff_dir(target: Optional[str] = None) -> List[Dict[str, object]]:
+    """Load every parity artifact under ``target`` (or ``$PARITY_DIFF_DIR``).
+
+    Returns the loaded reports (possibly empty when the directory exists
+    but holds no ``parity-*.json`` — a legitimate all-passed outcome).
+    Raises :class:`~repro.errors.ParityArtifactError` when the directory
+    is missing or any artifact inside it is malformed: a CI job that
+    *points* at a diff dir and then cannot read what it finds there must
+    not report success.
+    """
+    if target is None:
+        target = os.environ.get(PARITY_DIFF_DIR_ENV)
+    if not target:
+        raise ParityArtifactError(
+            "no parity diff directory given (argument empty and "
+            f"${PARITY_DIFF_DIR_ENV} unset)"
+        )
+    if not os.path.isdir(target):
+        raise ParityArtifactError(f"parity diff directory not found: {target}")
+    reports: List[Dict[str, object]] = []
+    for name in sorted(os.listdir(target)):
+        if name.startswith("parity-") and name.endswith(".json"):
+            reports.append(load_parity_report(os.path.join(target, name)))
+    return reports

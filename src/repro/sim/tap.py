@@ -1,0 +1,96 @@
+"""The simulation event tap: a semantic event stream for invariant checking.
+
+The chaos harness (:mod:`repro.chaos`) needs to check *temporal*
+properties — "a dead-lettered uid never appears in a completed path",
+"abandoned roots never resurrect" — that no scalar counter can express:
+they are statements about the *order* of semantic events, not their
+totals.  :class:`SimTap` is the narrow surface those events flow
+through: hook points across the simulation (tracker, write pipeline,
+cluster groups, staleness detector, engine) call :meth:`SimTap.emit`
+when a tap is installed and do nothing at all when it is not, so the
+default (tap-less) hot path pays one ``is None`` check per hook.
+
+Design rules:
+
+* **Emit-only.** Installing a tap must never change simulation
+  behaviour: hooks read state, they do not mutate it, and no RNG stream
+  is consumed.  A tapped run is bit-identical to an untapped one.
+* **Deterministic.** Event order follows the simulation's own
+  deterministic execution order, so two runs of the same seeded cell
+  produce identical event streams (the chaos replay contract).
+* **Cheap.** Events are plain tuples of primitives (uids are rendered
+  with ``repr``); per-run streams are bounded by the run's message
+  volume and are consumed in-process by the invariant checker, never
+  shipped between processes.
+
+Event kinds currently emitted (``data`` keys in parentheses):
+
+=====================  ========================================================
+``dead_letter``        a message exhausted its store-write retries and was
+                       parked (``uid``, ``root``)
+``dead_letter_purged`` a parked dead letter's root was abandoned; the entry
+                       was removed from the queue (``uid``, ``root``)
+``path_completed``     a causal path closed (``root``, ``members`` — every
+                       stored uid of the graph, captured before eviction)
+``path_abandoned``     a root expired under the path timeout (``root``)
+``late_message_discarded``  a message for an already-abandoned root arrived
+                       and was dropped instead of resurrecting it (``root``)
+``root_resurrected``   defensive: a message for an abandoned root made it
+                       into the store (must never happen; the invariant
+                       checker fails the run if it does) (``root``)
+``replica_init``       a component group was created (``component``, ``ready``)
+``provision_requested``  scale-up entered the pipeline (``component``,
+                       ``count``, ``eta``)
+``provision_matured``  pending nodes became ready (``component``, ``count``,
+                       ``ready``)
+``pending_cancelled``  pending nodes were cancelled by a scale-down
+                       (``component``, ``count``)
+``drain_started``      ready nodes started draining (``component``,
+                       ``count``, ``ready``)
+``nodes_crashed``      ready nodes were crashed (``component``, ``count``,
+                       ``ready``)
+``replica_observed``   the engine's per-interval observation of a group
+                       (``component``, ``ready``, ``pending``)
+``staleness``          one staleness-detector update (``healthy``,
+                       ``engaged`` — the post-update state)
+=====================  ========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple
+
+
+class TapEvent(NamedTuple):
+    """One semantic simulation event."""
+
+    minute: float
+    kind: str
+    data: Dict[str, object]
+
+
+class SimTap:
+    """Ordered, append-only stream of :class:`TapEvent`.
+
+    ``now`` is the tap's clock: the engine stamps it at the top of every
+    superstep and event handler, so hooks deep in the stack (which often
+    have no clock of their own) emit correctly timestamped events.
+    """
+
+    __slots__ = ("events", "now", "counts")
+
+    def __init__(self) -> None:
+        self.events: List[TapEvent] = []
+        self.now = 0.0
+        #: Per-kind event totals (cheap sanity surface for tests/CLI).
+        self.counts: Dict[str, int] = {}
+
+    def emit(self, kind: str, **data: object) -> None:
+        self.events.append(TapEvent(self.now, kind, data))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,117 @@
+"""Wilson intervals, Good-Turing unseen mass, and cell scoring."""
+
+import math
+
+import pytest
+
+from repro.chaos.reliability import (
+    good_turing_unseen_mass,
+    reliability_score,
+    wilson_interval,
+)
+
+PASS = frozenset()
+FAIL_A = frozenset({"dead-letter-exclusion"})
+FAIL_B = frozenset({"no-resurrection"})
+
+
+class TestWilsonInterval:
+    def test_zero_n_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_bounds_are_clamped_and_ordered(self):
+        for successes, n in [(0, 5), (5, 5), (3, 5), (1, 100), (99, 100)]:
+            low, high = wilson_interval(successes, n)
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_perfect_small_sample_is_not_certainty(self):
+        """3/3 passed must not read as [1.0, 1.0]."""
+        low, high = wilson_interval(3, 3)
+        assert low < 0.5
+        assert high == 1.0
+
+    def test_interval_narrows_with_n(self):
+        low_small, high_small = wilson_interval(8, 10)
+        low_big, high_big = wilson_interval(800, 1000)
+        assert (high_big - low_big) < (high_small - low_small)
+        # Both contain the true rate.
+        assert low_big < 0.8 < high_big
+
+    def test_invalid_successes_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(6, 5)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 5)
+
+
+class TestGoodTuring:
+    def test_empty_outcomes_reserve_everything(self):
+        assert good_turing_unseen_mass([]) == 1.0
+
+    def test_singleton_mass(self):
+        # Two distinct singletons out of four runs -> N1/N = 0.5.
+        outcomes = [PASS, PASS, FAIL_A, FAIL_B]
+        assert good_turing_unseen_mass(outcomes) == pytest.approx(0.5)
+
+    def test_no_singletons_hits_the_floor(self):
+        outcomes = [PASS] * 6
+        assert good_turing_unseen_mass(outcomes) == pytest.approx(1.0 / 12)
+
+    def test_signature_identity_not_object_identity(self):
+        """Equal frozensets are one outcome class, however constructed."""
+        outcomes = [frozenset({"x"}), frozenset({"x"})]
+        assert good_turing_unseen_mass(outcomes) == pytest.approx(1.0 / 4)
+
+
+class TestReliabilityScore:
+    def test_all_pass(self):
+        score = reliability_score([PASS] * 4)
+        assert score.runs == 4
+        assert score.passes == 4
+        assert score.raw_rate == 1.0
+        assert score.unseen_mass == pytest.approx(1.0 / 8)
+        assert score.adjusted_rate == pytest.approx(1.0 - 1.0 / 8)
+        assert score.ci_low < 1.0 <= score.ci_high
+
+    def test_mixed_outcomes(self):
+        score = reliability_score([PASS, PASS, FAIL_A, FAIL_A])
+        assert score.passes == 2
+        assert score.raw_rate == 0.5
+        # No singletons: floor mass.
+        assert score.unseen_mass == pytest.approx(1.0 / 8)
+        assert score.adjusted_rate == pytest.approx(0.5 * (1.0 - 1.0 / 8))
+
+    def test_adjusted_never_exceeds_raw(self):
+        for outcomes in ([PASS], [PASS, FAIL_A], [PASS] * 10, [FAIL_A, FAIL_B]):
+            score = reliability_score(outcomes)
+            assert score.adjusted_rate <= score.raw_rate
+            assert 0.0 <= score.adjusted_rate <= 1.0
+
+    def test_single_run_is_maximally_uncertain(self):
+        """repeats=1 gives a singleton: all mass is unseen, adjusted=0."""
+        score = reliability_score([PASS])
+        assert score.raw_rate == 1.0
+        assert score.unseen_mass == 1.0
+        assert score.adjusted_rate == 0.0
+
+    def test_empty_run_set(self):
+        score = reliability_score([])
+        assert score.runs == 0
+        assert score.raw_rate == 0.0
+        assert (score.ci_low, score.ci_high) == (0.0, 1.0)
+
+    def test_to_dict_is_json_shaped(self):
+        payload = reliability_score([PASS, FAIL_A]).to_dict()
+        assert set(payload) == {
+            "runs",
+            "passes",
+            "raw_rate",
+            "adjusted_rate",
+            "ci_low",
+            "ci_high",
+            "unseen_mass",
+        }
+        assert all(
+            isinstance(v, (int, float)) and math.isfinite(v)
+            for v in payload.values()
+        )
