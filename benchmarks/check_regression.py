@@ -62,6 +62,7 @@ BENCH_FILES = (
     "benchmarks/bench_event_engine.py",
     "benchmarks/bench_robustness_seeds.py::test_bench_fault_matrix_graceful_degradation",
     "benchmarks/bench_profiler_sketch.py",
+    "benchmarks/bench_store_backend.py",
 )
 
 #: Calibration can scale the allowance by at most this factor either

@@ -110,12 +110,25 @@ _HEADLINE_KEYS = (
 )
 
 
-def run_cell(cell: ChaosCell, repeat: int = 0) -> CellRunResult:
+def run_cell(
+    cell: ChaosCell,
+    repeat: int = 0,
+    store_backend: str = "memory",
+    store_dir: Optional[str] = None,
+) -> CellRunResult:
     """Execute one cell run in-process and evaluate every invariant.
 
     Mirrors the ``repro faults`` wiring: DCA managers get the staleness
     fallback enabled (it is the subject of the re-engagement invariant)
     and a finite path timeout so abandonment machinery is live.
+
+    ``store_backend``/``store_dir`` are sweep-level overrides, *not* a
+    matrix axis (cell ids are digest-derived from the grid parameters
+    and must stay stable across backends).  The telemetry digest is
+    backend-independent by contract, so a sweep on the ``log`` backend
+    must reproduce the memory sweep bit-for-bit.  With the log backend,
+    each run journals into its own ``<cell_id>-r<repeat>`` subdirectory
+    of ``store_dir``.
     """
     from repro.apps.catalog import load_scenario
     from repro.core.elasticity import DCAManagerConfig, StalenessPolicy
@@ -124,6 +137,8 @@ def run_cell(cell: ChaosCell, repeat: int = 0) -> CellRunResult:
     from repro.telemetry import MetricsRegistry
 
     scenario = load_scenario(cell.app)
+    if store_backend == "log" and store_dir is not None:
+        store_dir = os.path.join(store_dir, f"{cell.cell_id}-r{repeat}")
     config = ExperimentConfig(
         duration_minutes=cell.duration_minutes,
         seed=cell.seed_for(repeat),
@@ -131,6 +146,8 @@ def run_cell(cell: ChaosCell, repeat: int = 0) -> CellRunResult:
         write_batch_size=cell.write_batch_size,
         engine=cell.engine,
         profiler_mode=cell.profiler_mode,
+        store_backend=store_backend,
+        store_dir=store_dir,
     )
     registry = MetricsRegistry()
     tap = SimTap()
@@ -173,14 +190,19 @@ def run_cell(cell: ChaosCell, repeat: int = 0) -> CellRunResult:
     )
 
 
-def _run_cell_task(cell_data: Dict[str, object], repeat: int) -> Dict[str, object]:
+def _run_cell_task(
+    cell_data: Dict[str, object],
+    repeat: int,
+    store_backend: str = "memory",
+    store_dir: Optional[str] = None,
+) -> Dict[str, object]:
     """Process-pool worker: rebuild the cell from its dict and run it.
 
     Top-level (picklable) on purpose; ships back a plain dict so the
     coordinator never unpickles custom classes from workers.
     """
     cell = ChaosCell.from_dict(cell_data)
-    result = run_cell(cell, repeat=repeat)
+    result = run_cell(cell, repeat=repeat, store_backend=store_backend, store_dir=store_dir)
     return {
         "cell_id": result.cell_id,
         "repeat": result.repeat,
@@ -212,13 +234,17 @@ def run_matrix(
     repeats: int = 2,
     workers: int = 1,
     bundle_dir: Optional[str] = None,
+    store_backend: str = "memory",
+    store_dir: Optional[str] = None,
 ) -> List[CellReport]:
     """Sweep ``cells`` (x ``repeats`` runs each), optionally in parallel.
 
     ``workers`` > 1 fans the (cell, repeat) tasks over a process pool —
     every run is independent (own simulator, registry, tap), so results
     are bit-identical to a serial sweep.  Failing runs are written as
-    replay bundles into ``bundle_dir`` when given.
+    replay bundles into ``bundle_dir`` when given.  ``store_backend`` /
+    ``store_dir`` apply to every run (see :func:`run_cell`) and do not
+    change cell ids or digests.
     """
     if repeats < 1:
         raise EvaluationError(f"repeats must be >= 1, got {repeats}")
@@ -229,14 +255,18 @@ def run_matrix(
 
         with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
             futures = {
-                (cell.cell_id, rep): pool.submit(_run_cell_task, cell.canonical(), rep)
+                (cell.cell_id, rep): pool.submit(
+                    _run_cell_task, cell.canonical(), rep, store_backend, store_dir
+                )
                 for cell, rep in tasks
             }
             for key, future in futures.items():
                 raw[key] = future.result()
     else:
         for cell, rep in tasks:
-            raw[(cell.cell_id, rep)] = _run_cell_task(cell.canonical(), rep)
+            raw[(cell.cell_id, rep)] = _run_cell_task(
+                cell.canonical(), rep, store_backend, store_dir
+            )
     reports: List[CellReport] = []
     for cell in cells:
         report = CellReport(cell=cell)
@@ -312,6 +342,8 @@ def replay_cell(
     cell_id: str,
     repeat: int = 0,
     expected_digest: Optional[str] = None,
+    store_backend: str = "memory",
+    store_dir: Optional[str] = None,
 ) -> CellRunResult:
     """Re-run one cell bit-identically from its id.
 
@@ -322,7 +354,7 @@ def replay_cell(
     failing loudly over.
     """
     cell = matrix.cell_by_id(cell_id)
-    result = run_cell(cell, repeat=repeat)
+    result = run_cell(cell, repeat=repeat, store_backend=store_backend, store_dir=store_dir)
     if expected_digest is not None and result.telemetry_digest != expected_digest:
         raise EvaluationError(
             f"replay of cell {cell_id} (repeat {repeat}) produced telemetry "

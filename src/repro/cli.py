@@ -27,6 +27,7 @@ from repro.core.paths import enumerate_causal_paths
 from repro.errors import ReproError
 from repro.evalx.experiment import MANAGER_NAMES, ExperimentConfig, run_all_managers, run_manager
 from repro.faults import FAULT_SCENARIOS, build_fault_plan
+from repro.graphstore.backend import BACKENDS as STORE_BACKENDS
 from repro.evalx.overhead import fig5_measurements
 from repro.evalx.reporting import fig5_table, fig8_table, format_table, sla_table
 from repro.profiling.profiler import PROFILER_MODES
@@ -162,6 +163,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the sweep report as JSON",
     )
+    p_chaos.add_argument(
+        "--store-backend", choices=STORE_BACKENDS, default="memory",
+        help="graph-store backend for every cell run (sweep-level "
+        "override, not a matrix axis — cell ids and digests are "
+        "backend-independent)",
+    )
+    p_chaos.add_argument(
+        "--store-dir", metavar="DIR",
+        help="journal directory for --store-backend log (one "
+        "<cell-id>-r<N> subdirectory per run)",
+    )
 
     p_table = sub.add_parser("table", help="Fig. 8 agility + RQ5 SLA tables")
     p_table.add_argument("scenarios", nargs="+", choices=sorted(SCENARIOS))
@@ -213,6 +225,17 @@ def _add_store_options(parser: argparse.ArgumentParser) -> None:
         "--profiler-topk", type=int, default=DEFAULT_TOPK_K,
         help="hot paths tracked near-exactly in topk mode",
     )
+    parser.add_argument(
+        "--store-backend", choices=STORE_BACKENDS, default="memory",
+        help="graph-store backend: in-process memory (default), crash-safe "
+        "append-only log (requires --store-dir), or a process-shared "
+        "store server (one store across --workers)",
+    )
+    parser.add_argument(
+        "--store-dir", metavar="DIR",
+        help="journal directory for --store-backend log (one subdirectory "
+        "per manager, one per shard)",
+    )
 
 
 def _experiment_config(args) -> ExperimentConfig:
@@ -224,6 +247,8 @@ def _experiment_config(args) -> ExperimentConfig:
         engine=getattr(args, "engine", "tick"),
         profiler_mode=getattr(args, "profiler_mode", "exact"),
         profiler_topk=getattr(args, "profiler_topk", DEFAULT_TOPK_K),
+        store_backend=getattr(args, "store_backend", "memory"),
+        store_dir=getattr(args, "store_dir", None),
     )
 
 
@@ -412,6 +437,7 @@ def _cmd_chaos(args) -> int:
         result = replay_cell(
             matrix, args.replay, repeat=args.repeat,
             expected_digest=args.expect_digest,
+            store_backend=args.store_backend, store_dir=args.store_dir,
         )
         cell = matrix.cell_by_id(args.replay)
         status = "PASS" if result.passed else "FAIL"
@@ -447,6 +473,7 @@ def _cmd_chaos(args) -> int:
     reports = run_matrix(
         cells, repeats=args.repeats, workers=args.workers,
         bundle_dir=args.bundle_dir,
+        store_backend=args.store_backend, store_dir=args.store_dir,
     )
     if args.json:
         payload = []

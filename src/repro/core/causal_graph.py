@@ -234,12 +234,16 @@ class DirectCausalityTracker:
         RNG streams), no path timeout (per-root age bookkeeping), no
         batched pipeline (flush boundaries straddle executions), and the
         plain single store (a sharded store keys telemetry by the uid
-        hash of each root, which varies per execution).
+        hash of each root, which varies per execution) on the in-process
+        memory backend (a journaling backend must see every mutation;
+        replay skips store writes entirely, so a frozen run would leave
+        the durable log silently incomplete).
         """
         return (
             self._plain_path
             and self._pipeline is None
             and type(self.store) is GraphStore
+            and getattr(self.store, "backend_kind", "memory") == "memory"
         )
 
     def next_delayed_due_minutes(self) -> Optional[float]:

@@ -37,6 +37,19 @@ class TransientStoreError(GraphStoreError):
     """
 
 
+class StoreBackendError(GraphStoreError):
+    """A graph-store backend artifact is missing, torn, or malformed.
+
+    Raised by the append-only log backend (:mod:`repro.graphstore.backend`)
+    when recovery meets a truncated final record, a frame whose crc32
+    does not match its payload, or a gap in a rotated segment sequence —
+    mirroring :class:`ParityArtifactError`: a damaged persistence
+    artifact must surface as a loud failure, never load as a silently
+    truncated graph.  Also raised for backend misuse (double close,
+    writes after close, opening a fresh store over existing segments).
+    """
+
+
 class FaultPlanError(ReproError):
     """Raised when a fault plan or injector is misconfigured."""
 

@@ -28,6 +28,7 @@ from repro.core.elasticity import (
 from repro.errors import EvaluationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.graphstore.backend import BACKENDS as STORE_BACKENDS
 from repro.profiling.profiler import PROFILER_MODES
 from repro.profiling.sketches import DEFAULT_TOPK_K
 from repro.sim.engine import ENGINES, ClusterSimulator, DCABundle, SimulationConfig
@@ -75,6 +76,14 @@ class ExperimentConfig:
     #: space-saving summary size for the topk tier.
     profiler_mode: str = "exact"
     profiler_topk: int = DEFAULT_TOPK_K
+    #: Graph-store backend: "memory" (in-process dicts), "log"
+    #: (append-only journal under ``store_dir``, one subdirectory per
+    #: manager), or "shared" (process-shared store server; connects to
+    #: ``store_shared_address`` or starts a private server per run).
+    store_backend: str = "memory"
+    store_dir: Optional[str] = None
+    store_shared_address: Optional[str] = None
+    store_shared_authkey: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.duration_minutes < 1:
@@ -93,10 +102,24 @@ class ExperimentConfig:
             )
         if self.profiler_topk < 1:
             raise EvaluationError(f"profiler_topk must be >= 1, got {self.profiler_topk}")
+        if self.store_backend not in STORE_BACKENDS:
+            raise EvaluationError(
+                f"store_backend must be one of {STORE_BACKENDS}, got {self.store_backend!r}"
+            )
+        if self.store_backend == "log" and self.store_dir is None:
+            raise EvaluationError("store_backend 'log' requires store_dir")
         self.sim.duration_minutes = self.duration_minutes
         self.sim.engine = self.engine
         self.sim.profiler_mode = self.profiler_mode
         self.sim.profiler_topk = self.profiler_topk
+        self.sim.store_backend = self.store_backend
+        self.sim.store_dir = self.store_dir
+
+
+def _manager_slug(name: str) -> str:
+    """Filesystem-safe slug for a manager name (``DCA-100%`` → ``dca-100``)."""
+    slug = "".join(ch if ch.isalnum() else "-" for ch in name.lower())
+    return "-".join(part for part in slug.split("-") if part)
 
 
 def _make_generator(scenario: AppScenario, seed: int) -> WorkloadGenerator:
@@ -180,6 +203,13 @@ def build_simulator(
     rate = DCA_RATES.get(manager_name)
     if rate is None:
         raise EvaluationError(f"unknown manager {manager_name!r}; choose from {MANAGER_NAMES}")
+    store_dir = cfg.store_dir
+    if store_dir is not None and cfg.store_backend == "log":
+        # One journal directory per manager: managers run independently
+        # (possibly in parallel workers) and must never share segments.
+        import os
+
+        store_dir = os.path.join(store_dir, _manager_slug(manager_name))
     bundle = DCABundle.create(
         scenario.app,
         sampling_rate=rate,
@@ -193,6 +223,11 @@ def build_simulator(
         write_batch_size=cfg.write_batch_size,
         profiler_mode=cfg.sim.profiler_mode,
         profiler_topk=cfg.sim.profiler_topk,
+        store_backend=cfg.store_backend,
+        store_dir=store_dir,
+        store_namespace=_manager_slug(manager_name),
+        shared_address=cfg.store_shared_address,
+        shared_authkey=cfg.store_shared_authkey,
     )
     if manager_config is not None:
         dca_config = manager_config
@@ -269,23 +304,47 @@ def run_all_managers(
     """
     names = tuple(managers) if managers is not None else MANAGER_NAMES
     results: Dict[str, SimulationResult] = {}
-    if workers > 1 and len(names) > 1:
-        from repro.apps.catalog import SCENARIOS
+    server = None
+    if (
+        config is not None
+        and config.store_backend == "shared"
+        and config.store_shared_address is None
+    ):
+        # One store server for the whole sweep: every manager run — in
+        # this process or a pool worker — connects to it over the Unix
+        # socket, each under its own namespace.
+        from dataclasses import replace
 
-        if scenario.name in SCENARIOS:
-            from concurrent.futures import ProcessPoolExecutor
+        from repro.graphstore.shared import SharedStoreServer
 
-            merged = registry if registry is not None else get_registry()
-            with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
-                futures = [
-                    pool.submit(_run_manager_task, scenario.name, name, config)
-                    for name in names
-                ]
-                for future in futures:
-                    name, result, snapshot = future.result()
-                    results[name] = result
-                    merged.merge_snapshot(snapshot)
-            return results
-    for name in names:
-        results[name] = run_manager(scenario, name, config)
-    return results
+        server = SharedStoreServer()
+        server.start()
+        config = replace(
+            config,
+            store_shared_address=server.address,
+            store_shared_authkey=server.authkey_hex,
+        )
+    try:
+        if workers > 1 and len(names) > 1:
+            from repro.apps.catalog import SCENARIOS
+
+            if scenario.name in SCENARIOS:
+                from concurrent.futures import ProcessPoolExecutor
+
+                merged = registry if registry is not None else get_registry()
+                with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
+                    futures = [
+                        pool.submit(_run_manager_task, scenario.name, name, config)
+                        for name in names
+                    ]
+                    for future in futures:
+                        name, result, snapshot = future.result()
+                        results[name] = result
+                        merged.merge_snapshot(snapshot)
+                return results
+        for name in names:
+            results[name] = run_manager(scenario, name, config)
+        return results
+    finally:
+        if server is not None:
+            server.shutdown()

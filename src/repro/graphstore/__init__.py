@@ -1,5 +1,18 @@
-"""Partitioned in-memory causal-graph store (Apache Titan substitute)."""
+"""Partitioned causal-graph store (Apache Titan substitute).
 
+The store facade is backend-pluggable (:mod:`repro.graphstore.backend`):
+in-process memory (default), a crash-safe append-only segment log, or a
+process-shared store server (:mod:`repro.graphstore.shared`).
+"""
+
+from repro.graphstore.backend import (
+    BACKENDS,
+    GraphStoreBackend,
+    LogBackend,
+    MemoryBackend,
+    make_backend,
+    shard_backends,
+)
 from repro.graphstore.partition import HashPartitioner
 from repro.graphstore.pipeline import BatchedWritePipeline, DeadLetterQueue
 from repro.graphstore.query import (
@@ -14,16 +27,22 @@ from repro.graphstore.sharded import ShardedGraphStore
 from repro.graphstore.store import GraphNode, GraphStore
 
 __all__ = [
+    "BACKENDS",
     "BatchedWritePipeline",
     "CausalGraphResult",
     "DeadLetterQueue",
     "EdgeTriple",
     "GraphNode",
     "GraphStore",
+    "GraphStoreBackend",
     "HashPartitioner",
+    "LogBackend",
+    "MemoryBackend",
     "ShardedGraphStore",
     "ancestors_of",
     "causal_graph_bfs",
+    "make_backend",
     "reachable_set",
+    "shard_backends",
     "to_dot",
 ]

@@ -1,0 +1,812 @@
+"""Pluggable graph-store backends: in-memory, append-only log, shared.
+
+The paper offloads causal graphs to an external store (Apache Titan)
+precisely so provenance capture is not bounded by one process's RAM and
+survives monitoring-host restarts.  This module extracts that seam as a
+narrow :class:`GraphStoreBackend` protocol behind the existing
+:class:`~repro.graphstore.store.GraphStore` /
+:class:`~repro.graphstore.sharded.ShardedGraphStore` API:
+
+* :class:`MemoryBackend` — the default.  Journaling is disabled and the
+  store behaves bit-identically to the pre-backend code (the hot path
+  pays one ``is None`` check per write).
+* :class:`LogBackend` — an append-only binary log.  Every mutation
+  (message, raw edge, eviction, abandonment, dangling-edge repair) is
+  framed as a crc32-checked record and appended to a rotated segment
+  sequence; reopening the directory replays the log to rebuild the
+  exact store state, so experiments survive restarts and stores larger
+  than RAM stream from disk through ``mmap`` during recovery.
+* The **shared** backend lives in :mod:`repro.graphstore.shared`: a
+  multiprocessing store server reached over a Unix socket, so parallel
+  experiment workers operate on one store instead of merging snapshots.
+  It is a full store facade (not a journal), hence not constructed via
+  :func:`make_backend`.
+
+On-disk format (``log`` backend)
+--------------------------------
+Each segment file ``segment-%08d.log`` starts with a 12-byte header::
+
+    magic   b"RGSL"         (4 bytes)
+    version u32 = 1         (little-endian)
+    index   u32             (the segment's own sequence number)
+
+followed by frames::
+
+    length  u32             payload byte count
+    crc32   u32             zlib.crc32 of the payload
+    payload length bytes    opcode byte + op-specific body
+
+Records never span segments: appends are buffered and each flush lands
+entirely in the current segment; rotation happens *between* flushes once
+a segment exceeds ``segment_bytes``.  Message uids are encoded as the
+paper's ``<address, process_id, seq>`` triple; cause-uid sets are
+encoded **sorted** so the on-disk bytes are canonical — a ``frozenset``
+iteration order (which varies with the interpreter hash seed) must never
+leak into a persistence artifact.  ``OP_MESSAGE`` payloads group all
+string fields (addresses, type, endpoints) ahead of the fixed-width
+``<process_id, seq>`` tails: the string block repeats across records (a
+simulation's vocabulary is tiny) and is cached as one pre-encoded
+skeleton, leaving only one struct pack per journaled message.
+
+Durability and crash-recovery contract
+--------------------------------------
+``flush()`` is the durability point: buffered frames are written to the
+OS in one call and — under the default ``fsync="flush"`` policy —
+fsynced before it returns (``fsync="close"`` defers the sync to
+rotation/close; ``"never"`` leaves it to the OS).  Recovery is strict,
+mirroring PR 8's :class:`~repro.errors.ParityArtifactError` pattern: a
+bad-crc frame, a truncated frame, a damaged header, or a gap in the
+rotated segment sequence raises :class:`~repro.errors.StoreBackendError`
+— a damaged log must read as "the store is torn", never load as a
+silently truncated graph.  The one sanctioned repair: a torn *tail* (the
+final bytes of the final segment, the signature of a crash mid-flush)
+can be truncated away by opening with ``repair_torn_tail=True``, which
+drops only the partial frame and keeps every intact record before it.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import struct
+import zlib
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import StoreBackendError
+from repro.lang.message import Message, MessageUid
+from repro.telemetry import MetricsRegistry, get_registry
+
+#: The selectable backend kinds (`--store-backend`).
+BACKENDS = ("memory", "log", "shared")
+
+#: Segment-file constants (see the module docstring for the layout).
+SEGMENT_MAGIC = b"RGSL"
+SEGMENT_VERSION = 1
+SEGMENT_HEADER = struct.Struct("<4sII")
+FRAME_HEADER = struct.Struct("<II")
+#: Hot-path aliases (module-global loads beat attribute chains).
+#: ``zlib.crc32`` is already unsigned on Python 3 — no masking needed.
+_FRAME_PACK = FRAME_HEADER.pack
+_FRAME_OVERHEAD = FRAME_HEADER.size
+_CRC32 = zlib.crc32
+SEGMENT_NAME_RE = re.compile(r"^segment-(\d{8})\.log$")
+
+#: Default rotation threshold and auto-flush buffer bound (bytes).
+DEFAULT_SEGMENT_BYTES = 8 * 1024 * 1024
+DEFAULT_FLUSH_BYTES = 64 * 1024
+
+#: fsync policies: sync every flush, only at rotation/close, or never.
+FSYNC_POLICIES = ("flush", "close", "never")
+
+#: Record opcodes (one byte, first byte of every payload).
+OP_MESSAGE = 1
+OP_EDGE = 2
+OP_EVICT = 3
+OP_ABANDON = 4
+OP_REPAIR = 5
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64Q = struct.Struct("<QQ")
+
+#: Message flag bits.
+_FLAG_HAS_ROOT = 1
+_FLAG_SAMPLED = 2
+
+#: Precomputed ``(OP_MESSAGE, flags)`` prefixes for the four flag states.
+_MSG_PREFIXES = tuple(bytes((OP_MESSAGE, flags)) for flags in range(4))
+
+
+def segment_name(index: int) -> str:
+    return f"segment-{index:08d}.log"
+
+
+class GraphStoreBackend:
+    """Narrow journaling protocol the store drives its backend through.
+
+    ``journaling`` tells the store whether to call the ``journal_*``
+    hooks at all (the memory backend keeps the hot path branch-free
+    beyond one ``is None`` check).  ``flush()`` is the durability point;
+    ``close()`` must be idempotent.
+    """
+
+    kind: str = "abstract"
+    journaling: bool = False
+
+    def journal_message(self, message: Message) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def journal_edge(self, cause: MessageUid, effect: MessageUid) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def journal_evict(self, root: MessageUid) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def journal_abandon(self, root: MessageUid) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def journal_repair(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Make every journaled record durable (no-op by default)."""
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent, no-op by default)."""
+
+
+class MemoryBackend(GraphStoreBackend):
+    """The default in-process backend: no journal, no persistence.
+
+    Exists so every store has a ``backend`` with a ``kind`` (the replay
+    eligibility checks key off it) while the write path stays exactly
+    the pre-backend code.
+    """
+
+    kind = "memory"
+    journaling = False
+
+
+# -- binary encoding -----------------------------------------------------------
+
+
+#: Length-prefixed encodings of recently seen strings.  The strings a
+#: journal writes — host addresses, message types, component names —
+#: come from a tiny, fixed vocabulary, so this bounded cache turns the
+#: per-record hot path's dominant cost (encode + length-prefix per
+#: string field) into a dict hit.
+_STR_CACHE: dict = {}
+_STR_CACHE_MAX = 4096
+
+
+def _encode_str(text: str) -> bytes:
+    cached = _STR_CACHE.get(text)
+    if cached is not None:
+        return cached
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise StoreBackendError(f"string too long for log record ({len(raw)} bytes)")
+    encoded = _U16.pack(len(raw)) + raw
+    if len(_STR_CACHE) < _STR_CACHE_MAX:
+        _STR_CACHE[text] = encoded
+    return encoded
+
+
+def _encode_uid(uid: MessageUid) -> bytes:
+    return _encode_str(uid.address) + _U64Q.pack(uid.process_id, uid.seq)
+
+
+#: Pre-encoded ``OP_MESSAGE`` string blocks keyed by the record's string
+#: tuple (flags + addresses + type + endpoints).  Each entry is
+#: ``(skeleton_bytes, len(skeleton_bytes), crc32(skeleton_bytes))`` —
+#: the partial crc lets the journal hot path finish the frame crc
+#: incrementally over just the numeric tail.  Distinct tuples are
+#: bounded by the scenario's path templates × hosts, so in practice
+#: every journaled message after warm-up reduces to one dict hit plus
+#: one struct pack of its uid tails.
+_SKELETON_CACHE: dict = {}
+_SKELETON_CACHE_MAX = 4096
+
+#: ``struct.Struct("<nQ")`` per tail width; the common record shapes
+#: (bare root, root + one cause) get dedicated structs so the hot path
+#: packs without building an argument list.
+_TAIL4 = struct.Struct("<4Q")
+_TAIL6 = struct.Struct("<6Q")
+_TAIL_STRUCTS: dict = {2: _U64Q, 4: _TAIL4, 6: _TAIL6}
+
+
+def _tail_struct(count: int) -> struct.Struct:
+    cached = _TAIL_STRUCTS.get(count)
+    if cached is None:
+        cached = _TAIL_STRUCTS[count] = struct.Struct("<%dQ" % count)
+    return cached
+
+
+class _Reader:
+    """Cursor over one decoded payload (bounds-checked reads)."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise StoreBackendError(
+                "log record payload ends mid-field (corrupt frame passed crc?)"
+            )
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def text(self) -> str:
+        return self.take(self.u16()).decode("utf-8")
+
+    def uid(self) -> MessageUid:
+        address = self.text()
+        process_id, seq = _U64Q.unpack(self.take(16))
+        return MessageUid(address, process_id, seq)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos == len(self.data)
+
+
+def _message_parts(message: Message):
+    """``(skeleton_entry, tail)`` for one ``OP_MESSAGE`` record.
+
+    ``skeleton_entry`` is the :data:`_SKELETON_CACHE` triple
+    ``(skeleton, length, crc)``; ``tail`` is the packed
+    ``<process_id, seq>`` pairs of the uid, the root (if any), and each
+    cause, in that order.  Cause uids are sorted for canonical bytes.
+    """
+    root = message.root_uid
+    uid = message.uid
+    causes = message.cause_uids
+    n = len(causes)
+    if root is not None and n == 1:
+        # Dominant shape — a rooted single-cause hop — taken with the
+        # least possible work: one key tuple, one cache hit, one pack.
+        (cause,) = causes
+        flags = (
+            _FLAG_HAS_ROOT | _FLAG_SAMPLED
+            if message.sampled
+            else _FLAG_HAS_ROOT
+        )
+        key = (
+            flags, uid.address, message.msg_type, message.src,
+            message.dest, root.address, cause.address,
+        )
+        entry = _SKELETON_CACHE.get(key)
+        if entry is not None:
+            return entry, _TAIL6.pack(
+                uid.process_id, uid.seq, root.process_id, root.seq,
+                cause.process_id, cause.seq,
+            )
+        causes = (cause,)
+    else:
+        flags = 0
+        if root is not None:
+            flags |= _FLAG_HAS_ROOT
+        if message.sampled:
+            flags |= _FLAG_SAMPLED
+        # ``cause_key`` distinguishes record shapes by *type*: ``None``
+        # for no causes, a bare address string for a single cause, a
+        # tuple for the rest.
+        if n == 0:
+            causes = ()
+            cause_key = None
+        elif n == 1:
+            causes = tuple(causes)
+            cause_key = causes[0].address
+        else:
+            causes = sorted(causes)
+            cause_key = tuple(cause.address for cause in causes)
+        key = (
+            flags, uid.address, message.msg_type, message.src, message.dest,
+            None if root is None else root.address, cause_key,
+        )
+        entry = _SKELETON_CACHE.get(key)
+    if entry is None:
+        parts = [
+            _MSG_PREFIXES[flags],
+            _encode_str(uid.address),
+            _encode_str(message.msg_type),
+            _encode_str(message.src),
+            _encode_str(message.dest),
+        ]
+        if root is not None:
+            parts.append(_encode_str(root.address))
+        parts.append(_U32.pack(n))
+        for cause in causes:
+            parts.append(_encode_str(cause.address))
+        skeleton = b"".join(parts)
+        entry = (skeleton, len(skeleton), _CRC32(skeleton))
+        if len(_SKELETON_CACHE) < _SKELETON_CACHE_MAX:
+            _SKELETON_CACHE[key] = entry
+    if root is not None and n == 1:
+        cause = causes[0]
+        return entry, _TAIL6.pack(
+            uid.process_id, uid.seq, root.process_id, root.seq,
+            cause.process_id, cause.seq,
+        )
+    if root is None and n == 0:
+        return entry, _U64Q.pack(uid.process_id, uid.seq)
+    tails = [uid.process_id, uid.seq]
+    if root is not None:
+        tails.append(root.process_id)
+        tails.append(root.seq)
+    for cause in causes:
+        tails.append(cause.process_id)
+        tails.append(cause.seq)
+    return entry, _tail_struct(len(tails)).pack(*tails)
+
+
+def encode_message(message: Message) -> bytes:
+    """Provenance projection of one message as an ``OP_MESSAGE`` payload.
+
+    Persists exactly what the store consumes — uid, type, endpoints,
+    root, causes, sampling bit — not the payload ``fields`` (the store
+    never reads them).  The payload is ``skeleton + tail``: the string
+    block first (cacheable, see :data:`_SKELETON_CACHE`), then the
+    fixed-width uid tails.
+    """
+    (skeleton, _length, _crc), tail = _message_parts(message)
+    return skeleton + tail
+
+
+def decode_payload(payload: bytes):
+    """Decode one payload into ``(opcode, args)``.
+
+    A crc-valid but undecodable payload (unknown opcode, short body,
+    trailing bytes) is corruption, not a torn tail, and always raises
+    :class:`~repro.errors.StoreBackendError`.
+    """
+    if not payload:
+        raise StoreBackendError("empty log record payload")
+    op = payload[0]
+    reader = _Reader(payload)
+    reader.pos = 1
+    if op == OP_MESSAGE:
+        flags = reader.take(1)[0]
+        uid_address = reader.text()
+        msg_type = reader.text()
+        src = reader.text()
+        dest = reader.text()
+        root_address = reader.text() if flags & _FLAG_HAS_ROOT else None
+        cause_addresses = [reader.text() for _ in range(reader.u32())]
+        uid = MessageUid(uid_address, *_U64Q.unpack(reader.take(16)))
+        root = None
+        if root_address is not None:
+            root = MessageUid(root_address, *_U64Q.unpack(reader.take(16)))
+        causes = frozenset(
+            MessageUid(address, *_U64Q.unpack(reader.take(16)))
+            for address in cause_addresses
+        )
+        message = Message(
+            uid, msg_type, src, dest,
+            cause_uids=causes,
+            root_uid=root,
+            sampled=bool(flags & _FLAG_SAMPLED),
+        )
+        args: Tuple = (message,)
+    elif op == OP_EDGE:
+        args = (reader.uid(), reader.uid())
+    elif op in (OP_EVICT, OP_ABANDON):
+        args = (reader.uid(),)
+    elif op == OP_REPAIR:
+        args = ()
+    else:
+        raise StoreBackendError(f"unknown log record opcode {op}")
+    if not reader.exhausted:
+        raise StoreBackendError(
+            f"log record opcode {op} carries {len(payload) - reader.pos} "
+            "trailing bytes (corrupt frame passed crc?)"
+        )
+    return op, args
+
+
+class LogBackend(GraphStoreBackend):
+    """Append-only segmented binary log under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Segment directory.  One store (or one shard — see
+        :func:`shard_backends`) per directory.
+    create:
+        ``True`` starts a fresh log and *refuses* a directory that
+        already holds segments (no silent state mixing); ``False``
+        reopens an existing log, validating every frame of every
+        segment (see the module docstring's recovery contract).
+    segment_bytes / flush_bytes:
+        Rotation threshold and the auto-flush buffer bound.
+    fsync:
+        ``"flush"`` (default), ``"close"``, or ``"never"``.
+    repair_torn_tail:
+        With ``create=False``: truncate a torn final frame instead of
+        raising.  Only the tail of the *last* segment is repairable.
+    registry:
+        Telemetry registry for the ``graphstore.backend_*`` diagnostics
+        (volatile keys — they describe the backend, not the run, and
+        are excluded from the cross-backend digest contract).
+    """
+
+    kind = "log"
+    journaling = True
+
+    def __init__(
+        self,
+        directory: str,
+        create: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        flush_bytes: int = DEFAULT_FLUSH_BYTES,
+        fsync: str = "flush",
+        repair_torn_tail: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if segment_bytes < 1:
+            raise StoreBackendError(f"segment_bytes must be >= 1, got {segment_bytes}")
+        if fsync not in FSYNC_POLICIES:
+            raise StoreBackendError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self.directory = directory
+        self.segment_bytes = int(segment_bytes)
+        self.flush_bytes = int(flush_bytes)
+        self.fsync = fsync
+        self.telemetry = registry if registry is not None else get_registry()
+        self._m_flushes = self.telemetry.counter("graphstore.backend_flushes")
+        self._m_records = self.telemetry.counter("graphstore.backend_records")
+        self._m_bytes = self.telemetry.counter("graphstore.backend_bytes")
+        self._m_fsyncs = self.telemetry.counter("graphstore.backend_fsyncs")
+        self._m_rotations = self.telemetry.counter("graphstore.backend_rotations")
+        self._m_replayed = self.telemetry.counter("graphstore.backend_replayed_ops")
+        self._m_repairs = self.telemetry.counter("graphstore.backend_torn_tail_repairs")
+        self._buffer: List[bytes] = []
+        self._buffered_bytes = 0
+        self._buffered_records = 0
+        self._closed = False
+        self._fh = None
+        os.makedirs(directory, exist_ok=True)
+        existing = self._segment_indices()
+        if create:
+            if existing:
+                raise StoreBackendError(
+                    f"refusing to create a fresh log over {len(existing)} existing "
+                    f"segment(s) in {directory} — reopen with create=False or "
+                    "point --store-dir at an empty directory"
+                )
+            self._segment_index = 0
+            self._open_segment(0, fresh=True)
+        else:
+            if not existing:
+                raise StoreBackendError(
+                    f"no log segments to reopen in {directory}"
+                )
+            if existing != list(range(len(existing))):
+                missing = sorted(set(range(existing[-1] + 1)) - set(existing))
+                raise StoreBackendError(
+                    f"rotated segment sequence in {directory} has gaps "
+                    f"(missing indices {missing}) — the log is torn and "
+                    "cannot be trusted"
+                )
+            self._validate_segments(repair_torn_tail)
+            self._segment_index = existing[-1]
+            self._open_segment(self._segment_index, fresh=False)
+
+    # -- segment files -----------------------------------------------------------
+
+    def _segment_indices(self) -> List[int]:
+        indices = []
+        for name in os.listdir(self.directory):
+            match = SEGMENT_NAME_RE.match(name)
+            if match:
+                indices.append(int(match.group(1)))
+        return sorted(indices)
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory, segment_name(index))
+
+    def _open_segment(self, index: int, fresh: bool) -> None:
+        path = self._segment_path(index)
+        if fresh:
+            self._fh = open(path, "xb")
+            self._fh.write(SEGMENT_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION, index))
+            self._fh.flush()
+        else:
+            self._fh = open(path, "ab")
+
+    def _rotate(self) -> None:
+        self._sync(force=self.fsync in ("flush", "close"))
+        self._fh.close()
+        self._segment_index += 1
+        self._open_segment(self._segment_index, fresh=True)
+        self._m_rotations.inc()
+
+    def _sync(self, force: bool) -> None:
+        if force:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._m_fsyncs.inc()
+
+    # -- validation / recovery ---------------------------------------------------
+
+    def _read_segment(self, index: int, is_last: bool, repair: bool) -> Iterator[bytes]:
+        """Yield every payload of one segment, enforcing the torn contract."""
+        import mmap
+
+        path = self._segment_path(index)
+        with open(path, "rb") as fh:
+            size = os.fstat(fh.fileno()).st_size
+            if size < SEGMENT_HEADER.size:
+                yield from self._torn(
+                    path, 0, is_last, repair,
+                    f"segment {segment_name(index)} is shorter than its header",
+                )
+                return
+            view = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            try:
+                magic, version, stored = SEGMENT_HEADER.unpack_from(view, 0)
+                if magic != SEGMENT_MAGIC:
+                    raise StoreBackendError(
+                        f"{segment_name(index)} does not start with the log magic "
+                        "(not a graph-store segment)"
+                    )
+                if version != SEGMENT_VERSION:
+                    raise StoreBackendError(
+                        f"{segment_name(index)} has log version {version}, "
+                        f"expected {SEGMENT_VERSION}"
+                    )
+                if stored != index:
+                    raise StoreBackendError(
+                        f"{segment_name(index)} claims segment index {stored} — "
+                        "the rotated sequence has been tampered with"
+                    )
+                pos = SEGMENT_HEADER.size
+                while pos < size:
+                    if size - pos < FRAME_HEADER.size:
+                        yield from self._torn(
+                            path, pos, is_last, repair,
+                            f"truncated frame header at byte {pos} of "
+                            f"{segment_name(index)}",
+                        )
+                        return
+                    length, crc = FRAME_HEADER.unpack_from(view, pos)
+                    body_start = pos + FRAME_HEADER.size
+                    if size - body_start < length:
+                        yield from self._torn(
+                            path, pos, is_last, repair,
+                            f"frame at byte {pos} of {segment_name(index)} claims "
+                            f"{length} payload bytes but only "
+                            f"{size - body_start} remain",
+                        )
+                        return
+                    payload = bytes(view[body_start:body_start + length])
+                    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                        if body_start + length < size:
+                            # Intact data follows the bad frame: a crash
+                            # tail always ends at EOF (appends are
+                            # buffered into one write), so this is bit
+                            # rot mid-sequence — never repairable.
+                            raise StoreBackendError(
+                                f"crc mismatch in frame at byte {pos} of "
+                                f"{segment_name(index)} with intact data "
+                                "after it — the record is corrupt, not a "
+                                "crash tail"
+                            )
+                        yield from self._torn(
+                            path, pos, is_last, repair,
+                            f"crc mismatch in frame at byte {pos} of "
+                            f"{segment_name(index)}",
+                        )
+                        return
+                    yield payload
+                    pos = body_start + length
+            finally:
+                view.close()
+
+    def _torn(
+        self, path: str, keep_bytes: int, is_last: bool, repair: bool, detail: str
+    ) -> Iterator[bytes]:
+        """Handle a torn frame: repairable only at the tail of the last segment."""
+        if not is_last:
+            raise StoreBackendError(
+                f"{detail} — a torn frame before the final segment means the "
+                "rotated sequence is damaged beyond a crash tail"
+            )
+        if not repair:
+            raise StoreBackendError(
+                f"{detail} — the log has a torn tail (crash mid-flush); reopen "
+                "with repair_torn_tail=True to truncate the partial frame"
+            )
+        with open(path, "r+b") as fh:
+            fh.truncate(keep_bytes)
+            if keep_bytes == 0:
+                # The crash caught segment creation itself: restore the header
+                # so the (now empty) segment stays a valid member of the chain.
+                index = int(SEGMENT_NAME_RE.match(os.path.basename(path)).group(1))
+                fh.write(SEGMENT_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION, index))
+        self._m_repairs.inc()
+        return
+        yield  # pragma: no cover - generator shape only
+
+    def _validate_segments(self, repair: bool) -> None:
+        indices = self._segment_indices()
+        for index in indices:
+            for _ in self._read_segment(index, index == indices[-1], repair):
+                pass
+
+    def iter_ops(self) -> Iterator[Tuple[int, tuple]]:
+        """Stream every journaled op (decoded) from the segment sequence."""
+        indices = self._segment_indices()
+        for index in indices:
+            for payload in self._read_segment(index, index == indices[-1], False):
+                yield decode_payload(payload)
+
+    def replay_into(self, store) -> int:
+        """Re-apply every journaled op to ``store`` (the recovery path).
+
+        The caller (:meth:`GraphStore.recover`) detaches the journal,
+        the fault injector, and the completion subscribers first, so
+        replay mutates only graph state — it never re-journals, rolls
+        fault decisions, or fires completion callbacks.
+        """
+        count = 0
+        for op, args in self.iter_ops():
+            if op == OP_MESSAGE:
+                store.add_message(*args)
+            elif op == OP_EDGE:
+                store.add_edge(*args)
+            elif op == OP_EVICT:
+                store.evict_graph(*args)
+            elif op == OP_ABANDON:
+                store.abandon_root(*args)
+            else:
+                store.repair_dangling_edges()
+            count += 1
+        self._m_replayed.inc(count)
+        return count
+
+    # -- journal hooks -----------------------------------------------------------
+
+    def _append(self, payload: bytes) -> None:
+        if self._closed:
+            raise StoreBackendError("log backend is closed (write after close)")
+        # Frame header and payload are buffered as two entries (the
+        # flush-time join concatenates them); skipping the per-record
+        # concat keeps the hot path allocation-light.
+        buffer = self._buffer
+        buffer.append(_FRAME_PACK(len(payload), _CRC32(payload)))
+        buffer.append(payload)
+        self._buffered_bytes += len(payload) + _FRAME_OVERHEAD
+        self._buffered_records += 1
+        if self._buffered_bytes >= self.flush_bytes:
+            self.flush()
+
+    def journal_message(self, message: Message) -> None:
+        # The per-message hot path: ``_append`` inlined to spare a call,
+        # and the frame crc finished incrementally from the skeleton's
+        # cached partial crc — the full payload is never materialised
+        # (the flush-time join concatenates header + skeleton + tail).
+        if self._closed:
+            raise StoreBackendError("log backend is closed (write after close)")
+        (skeleton, skeleton_len, skeleton_crc), tail = _message_parts(message)
+        length = skeleton_len + len(tail)
+        buffer = self._buffer
+        buffer.append(_FRAME_PACK(length, _CRC32(tail, skeleton_crc)))
+        buffer.append(skeleton)
+        buffer.append(tail)
+        self._buffered_bytes += length + _FRAME_OVERHEAD
+        self._buffered_records += 1
+        if self._buffered_bytes >= self.flush_bytes:
+            self.flush()
+
+    def journal_edge(self, cause: MessageUid, effect: MessageUid) -> None:
+        self._append(bytes((OP_EDGE,)) + _encode_uid(cause) + _encode_uid(effect))
+
+    def journal_evict(self, root: MessageUid) -> None:
+        self._append(bytes((OP_EVICT,)) + _encode_uid(root))
+
+    def journal_abandon(self, root: MessageUid) -> None:
+        self._append(bytes((OP_ABANDON,)) + _encode_uid(root))
+
+    def journal_repair(self) -> None:
+        self._append(bytes((OP_REPAIR,)))
+
+    # -- durability --------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write buffered frames (rotating first if due) and maybe fsync."""
+        if self._closed or not self._buffer:
+            return
+        if self._fh.tell() >= self.segment_bytes:
+            self._rotate()
+        blob = b"".join(self._buffer)
+        self._m_records.inc(self._buffered_records)
+        self._buffer = []
+        self._buffered_bytes = 0
+        self._buffered_records = 0
+        self._fh.write(blob)
+        self._m_flushes.inc()
+        self._m_bytes.inc(len(blob))
+        self._sync(force=self.fsync == "flush")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._sync(force=self.fsync in ("flush", "close"))
+        self._fh.close()
+        self._closed = True
+
+
+# -- factories -----------------------------------------------------------------
+
+
+def shard_dir(store_dir: str, index: int) -> str:
+    """Segment directory of one shard under a sharded store's root dir."""
+    return os.path.join(store_dir, f"shard-{index:02d}")
+
+
+def make_backend(
+    kind: str,
+    store_dir: Optional[str] = None,
+    create: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+    **log_options,
+) -> GraphStoreBackend:
+    """Build one backend for a single (non-sharded) store.
+
+    ``shared`` is not constructible here — it is a store *facade*
+    (:class:`repro.graphstore.shared.SharedGraphStoreClient`), not a
+    journal behind a local store.
+    """
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "log":
+        if store_dir is None:
+            raise StoreBackendError("the log backend requires --store-dir")
+        return LogBackend(
+            store_dir, create=create, registry=registry, **log_options
+        )
+    if kind == "shared":
+        raise StoreBackendError(
+            "the shared backend is a store facade — build it via "
+            "repro.graphstore.shared, not make_backend()"
+        )
+    raise StoreBackendError(f"unknown store backend {kind!r}; choose from {BACKENDS}")
+
+
+def shard_backends(
+    kind: str,
+    num_shards: int,
+    store_dir: Optional[str] = None,
+    create: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+    **log_options,
+) -> List[GraphStoreBackend]:
+    """Per-shard backends for a :class:`ShardedGraphStore` (``shard-NN/`` dirs)."""
+    if kind == "memory":
+        return [MemoryBackend() for _ in range(num_shards)]
+    if kind == "log":
+        if store_dir is None:
+            raise StoreBackendError("the log backend requires --store-dir")
+        return [
+            LogBackend(
+                shard_dir(store_dir, index), create=create,
+                registry=registry, **log_options,
+            )
+            for index in range(num_shards)
+        ]
+    raise StoreBackendError(
+        f"cannot build per-shard {kind!r} backends; choose from ('memory', 'log')"
+    )

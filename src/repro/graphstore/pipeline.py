@@ -267,15 +267,24 @@ class BatchedWritePipeline:
         return 0
 
     def flush(self, now_minutes: Optional[float] = None) -> int:
-        """Drain every shard buffer (shard-index order); returns messages written."""
+        """Drain every shard buffer (shard-index order); returns messages written.
+
+        A drain is also the journal durability point for journaling
+        store backends: size-triggered batch handoffs between drains
+        stay buffered (plus the backend's own byte-bounded auto-flush),
+        so the write syscall is paid per flush interval, not per batch.
+        """
         if now_minutes is not None:
             self._last_flush_minute = float(now_minutes)
-        if not self._buffered:
-            return 0
         written = 0
-        for index, buffer in enumerate(self._buffers):
-            if buffer:
-                written += self._flush_shard(index)
+        if self._buffered:
+            for index, buffer in enumerate(self._buffers):
+                if buffer:
+                    written += self._flush_shard(index)
+        for target in self._targets:
+            flush_journal = getattr(target, "flush_journal", None)
+            if flush_journal is not None:
+                flush_journal()
         return written
 
     def _flush_shard(self, index: int) -> int:

@@ -50,6 +50,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import GraphStoreError, TransientStoreError
+from repro.graphstore.backend import GraphStoreBackend
 from repro.graphstore.partition import HashPartitioner
 from repro.graphstore.store import (
     GRAPH_SIZE_BUCKETS,
@@ -96,6 +97,12 @@ class ShardedGraphStore:
         When > 1, :meth:`repair_dangling_edges` and
         :meth:`abandon_roots` fan out over shards on a thread pool of
         this size.  Pair with a thread-safe telemetry registry.
+    backends:
+        Optional per-shard :class:`~repro.graphstore.backend.GraphStoreBackend`
+        list (one per shard, e.g. from
+        :func:`repro.graphstore.backend.shard_backends`); each shard
+        journals into — and recovers from — its own backend, so the
+        rotated ``shard-NN/`` log directories stay independent.
     """
 
     def __init__(
@@ -106,9 +113,14 @@ class ShardedGraphStore:
         registry: Optional[MetricsRegistry] = None,
         fault_injector=None,
         maintenance_workers: int = 0,
+        backends: Optional[Sequence[GraphStoreBackend]] = None,
     ) -> None:
         if num_shards < 1:
             raise GraphStoreError(f"num_shards must be >= 1, got {num_shards}")
+        if backends is not None and len(backends) != num_shards:
+            raise GraphStoreError(
+                f"got {len(backends)} backend(s) for {num_shards} shard(s)"
+            )
         self.num_shards = int(num_shards)
         self._router = HashPartitioner(self.num_shards)
         self._shard_of = self._router.partition_of
@@ -123,8 +135,9 @@ class ShardedGraphStore:
                 num_partitions=num_partitions,
                 registry=self.telemetry,
                 fault_injector=None,
+                backend=backends[index] if backends is not None else None,
             )
-            for _ in range(self.num_shards)
+            for index in range(self.num_shards)
         ]
         for shard in self.shards:
             shard.subscribe_path_complete(self._notify_path_complete)
@@ -339,6 +352,32 @@ class ShardedGraphStore:
 
         dirty = [i for i, shard in enumerate(self.shards) if shard._dangling_effects]
         return sum(self._fan_out(repair, dirty))
+
+    # -- backend lifecycle ---------------------------------------------------------
+
+    @property
+    def backend_kind(self) -> str:
+        """Backend kind shared by the shard fleet (``memory``/``log``)."""
+        return self.shards[0].backend_kind
+
+    def recover(self) -> int:
+        """Replay every shard's journal (shard-index order); returns total ops.
+
+        Shard routing is derived from each message's root uid, so each
+        shard's journal replays into the shard that wrote it — the
+        recovered placement is identical to the original run's.
+        """
+        return sum(shard.recover() for shard in self.shards)
+
+    def flush_journal(self) -> None:
+        """Hit every shard's journal durability point (shard-index order)."""
+        for shard in self.shards:
+            shard.flush_journal()
+
+    def close(self) -> None:
+        """Flush and close every shard's backend (idempotent)."""
+        for shard in self.shards:
+            shard.close()
 
     def _fan_out(self, fn: Callable[[int], int], indexes: Sequence[int]) -> List[int]:
         """Apply ``fn`` to each shard index, threaded when configured.

@@ -1,0 +1,433 @@
+"""Process-shared graph store: one store server, many experiment workers.
+
+PR 5's parallel runner (``run_all_managers(..., workers=N)``) gives each
+worker a private in-process store and merges per-worker telemetry
+snapshots afterwards.  The paper's deployment has no such merge step:
+every monitored process writes into *one* external graph store (Titan).
+This module reproduces that shape dependency-free with the stdlib:
+
+* :class:`SharedStoreServer` hosts a
+  :class:`multiprocessing.managers.BaseManager` on a Unix socket.  The
+  server process owns a singleton :class:`StoreHub` holding one real
+  :class:`~repro.graphstore.store.GraphStore` /
+  :class:`~repro.graphstore.sharded.ShardedGraphStore` **per
+  namespace** (one namespace per manager under the experiment runner),
+  each with its own server-side telemetry registry.
+* :class:`SharedGraphStoreClient` is a drop-in store facade for the
+  tracker and the batched write pipeline: it duck-types the store
+  surface (writes, per-root reads, maintenance, completion
+  subscriptions) over proxy calls and keeps the *decision-owning* state
+  local — the fault injector rolls client-side before any RPC (exactly
+  where the sharded facade rolls it), and path-complete subscribers
+  fire client-side from the completion roots each write call returns.
+
+Concurrency rules
+-----------------
+Namespaces are disjoint: concurrent workers touch different namespaces,
+so the only cross-worker shared state is the hub's namespace table
+(guarded by a lock).  Within a namespace there is exactly one writer
+(its worker), so the underlying store needs no extra locking — the same
+single-writer discipline the in-process store already assumes.  On
+:meth:`SharedGraphStoreClient.close` the client merges its namespace's
+server-side registry snapshot into its local registry, so a shared-store
+run's final telemetry is bit-identical (non-volatile keys) to the same
+run on the memory backend — workers share the store instead of merging
+store state, and only the counters travel back.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from multiprocessing.managers import BaseManager
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import StoreBackendError, TransientStoreError
+from repro.graphstore.partition import HashPartitioner
+from repro.lang.message import Message, MessageUid
+from repro.telemetry import MetricsRegistry, get_registry
+
+#: Default authkey size (bytes) for freshly started servers.
+_AUTHKEY_BYTES = 16
+
+
+class StoreHub:
+    """Server-side singleton: one store + registry per namespace.
+
+    Every method takes the namespace first; proxies serialize arguments
+    with pickle, so uids/messages cross the boundary as values.  Write
+    methods return the root uids whose paths completed during the call
+    (in notification order) — the client fires its local subscribers
+    from them, keeping completion semantics identical to an in-process
+    store.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self._lock = threading.Lock()
+        self._stores = {}
+        self._registries = {}
+        self._completed = {}
+
+    def ensure(self, namespace: str, num_shards: int, num_partitions: int) -> None:
+        """Create the namespace's store on first use (idempotent)."""
+        from repro.graphstore.sharded import ShardedGraphStore
+        from repro.graphstore.store import GraphStore
+
+        with self._lock:
+            if namespace in self._stores:
+                return
+            registry = MetricsRegistry()
+            completed: List[MessageUid] = []
+            if num_shards > 1:
+                store = ShardedGraphStore(
+                    num_shards=num_shards,
+                    num_partitions=num_partitions,
+                    registry=registry,
+                )
+            else:
+                store = GraphStore(num_partitions=num_partitions, registry=registry)
+            store.subscribe_path_complete(completed.append)
+            self._stores[namespace] = store
+            self._registries[namespace] = registry
+            self._completed[namespace] = completed
+
+    def _drain(self, namespace: str) -> List[MessageUid]:
+        completed = self._completed[namespace]
+        if not completed:
+            return []
+        drained = list(completed)
+        completed.clear()
+        return drained
+
+    # -- writes ------------------------------------------------------------------
+
+    def add_message(self, namespace: str, message: Message) -> List[MessageUid]:
+        self._stores[namespace].add_message(message)
+        return self._drain(namespace)
+
+    def add_messages(
+        self, namespace: str, shard_index: Optional[int], messages: Sequence[Message]
+    ) -> Tuple[int, List[MessageUid]]:
+        """Batch write — straight into one shard when ``shard_index`` is given.
+
+        Mirrors the batched pipeline's direct ``shards[i].add_messages``
+        write path, so batch/flush telemetry and per-shard ordering are
+        identical to the in-process configuration.
+        """
+        store = self._stores[namespace]
+        if shard_index is None:
+            count = store.add_messages(messages)
+        else:
+            count = store.shards[shard_index].add_messages(messages)
+        return count, self._drain(namespace)
+
+    def add_edge(
+        self, namespace: str, cause: MessageUid, effect: MessageUid
+    ) -> List[MessageUid]:
+        self._stores[namespace].add_edge(cause, effect)
+        return self._drain(namespace)
+
+    # -- reads -------------------------------------------------------------------
+
+    def contains(self, namespace: str, uid: MessageUid) -> bool:
+        return self._stores[namespace].contains(uid)
+
+    def get_node(self, namespace: str, uid: MessageUid):
+        return self._stores[namespace].get_node(uid)
+
+    def node_count(self, namespace: str) -> int:
+        return self._stores[namespace].node_count()
+
+    def root_of(self, namespace: str, uid: MessageUid) -> Optional[MessageUid]:
+        return self._stores[namespace].root_of(uid)
+
+    def successors(self, namespace: str, uid: MessageUid) -> Set[MessageUid]:
+        return self._stores[namespace].successors(uid)
+
+    def predecessors(self, namespace: str, uid: MessageUid) -> Set[MessageUid]:
+        return self._stores[namespace].predecessors(uid)
+
+    def all_uids(self, namespace: str) -> List[MessageUid]:
+        return list(self._stores[namespace].all_uids())
+
+    def completed_signature(self, namespace: str, root: MessageUid):
+        return self._stores[namespace].completed_signature(root)
+
+    def graph_members(self, namespace: str, root: MessageUid) -> Tuple[MessageUid, ...]:
+        return self._stores[namespace].graph_members(root)
+
+    def tallies(self, namespace: str) -> Tuple[int, int, int]:
+        store = self._stores[namespace]
+        return store.edge_count, store.cross_partition_edges, store.index_lookups
+
+    # -- maintenance -------------------------------------------------------------
+
+    def evict_graph(self, namespace: str, root: MessageUid) -> int:
+        return self._stores[namespace].evict_graph(root)
+
+    def abandon_root(self, namespace: str, root: MessageUid) -> int:
+        return self._stores[namespace].abandon_root(root)
+
+    def abandon_roots(self, namespace: str, roots: Sequence[MessageUid]) -> int:
+        store = self._stores[namespace]
+        abandon_many = getattr(store, "abandon_roots", None)
+        if abandon_many is not None:
+            return abandon_many(roots)
+        return sum(store.abandon_root(root) for root in roots)
+
+    def repair_dangling_edges(self, namespace: str) -> int:
+        return self._stores[namespace].repair_dangling_edges()
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def snapshot(self, namespace: str) -> dict:
+        """The namespace's server-side registry snapshot (client merges it)."""
+        return self._registries[namespace].snapshot()
+
+
+_HUB: Optional[StoreHub] = None
+
+
+def _get_hub() -> StoreHub:
+    """Module-level singleton accessor (runs inside the server process)."""
+    global _HUB
+    if _HUB is None:
+        _HUB = StoreHub()
+    return _HUB
+
+
+class _StoreManager(BaseManager):
+    pass
+
+
+_StoreManager.register("hub", callable=_get_hub)
+
+
+class SharedStoreServer:
+    """Owns the store-server process behind one Unix socket."""
+
+    def __init__(self, address: Optional[str] = None, authkey: Optional[bytes] = None) -> None:
+        self._socket_dir: Optional[str] = None
+        if address is None:
+            self._socket_dir = tempfile.mkdtemp(prefix="repro-store-")
+            address = os.path.join(self._socket_dir, "store.sock")
+        self.address = address
+        self.authkey = authkey if authkey is not None else os.urandom(_AUTHKEY_BYTES)
+        self._manager = _StoreManager(address=self.address, authkey=self.authkey)
+        self._started = False
+
+    @property
+    def authkey_hex(self) -> str:
+        """Hex form of the authkey (travels inside picklable configs)."""
+        return self.authkey.hex()
+
+    def start(self) -> "SharedStoreServer":
+        self._manager.start()
+        self._started = True
+        return self
+
+    def shutdown(self) -> None:
+        if self._started:
+            self._manager.shutdown()
+            self._started = False
+        if self._socket_dir is not None:
+            import shutil
+
+            shutil.rmtree(self._socket_dir, ignore_errors=True)
+            self._socket_dir = None
+
+
+def connect_hub(address: str, authkey: bytes):
+    """Connect to a running store server; returns a hub proxy."""
+    manager = _StoreManager(address=address, authkey=authkey)
+    manager.connect()
+    return manager.hub()
+
+
+class _SharedShard:
+    """Per-shard write handle the batched pipeline targets directly.
+
+    Carries ``fault_injector = None`` because the pipeline owns the
+    write-fault roll when batching (the same ownership rule the
+    in-process shards follow).
+    """
+
+    fault_injector = None
+
+    def __init__(self, client: "SharedGraphStoreClient", index: int) -> None:
+        self._client = client
+        self.index = index
+
+    def add_messages(self, messages: Sequence[Message]) -> int:
+        return self._client._shard_add_messages(self.index, messages)
+
+
+class SharedGraphStoreClient:
+    """Store facade over a :class:`StoreHub` namespace.
+
+    Drop-in for :class:`~repro.graphstore.store.GraphStore` /
+    :class:`~repro.graphstore.sharded.ShardedGraphStore` on the tracker
+    and pipeline surface.  The fault injector (when attached) rolls
+    locally before each unbatched write RPC; completion subscribers fire
+    locally from the roots each write returns; telemetry counters the
+    server accumulates for this namespace are merged into the local
+    registry at :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        authkey: bytes,
+        namespace: str,
+        num_shards: int = 1,
+        num_partitions: int = 4,
+        registry: Optional[MetricsRegistry] = None,
+        fault_injector=None,
+        on_path_complete: Optional[Callable[[MessageUid], None]] = None,
+        owned_server: Optional[SharedStoreServer] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise StoreBackendError(f"num_shards must be >= 1, got {num_shards}")
+        self.namespace = namespace
+        self.num_shards = int(num_shards)
+        self.telemetry = registry if registry is not None else get_registry()
+        self.fault_injector = fault_injector
+        self._owned_server = owned_server
+        self._manager = _StoreManager(address=address, authkey=authkey)
+        self._manager.connect()
+        self._hub = self._manager.hub()
+        self._hub.ensure(namespace, self.num_shards, num_partitions)
+        self._path_complete_subscribers: List[Callable[[MessageUid], None]] = []
+        if on_path_complete is not None:
+            self._path_complete_subscribers.append(on_path_complete)
+        self._closed = False
+        if self.num_shards > 1:
+            # The same crc-routing the server store uses, computed
+            # locally so the pipeline buffers per shard without a round
+            # trip per message.
+            self._router = HashPartitioner(self.num_shards)
+            self.shards = [_SharedShard(self, i) for i in range(self.num_shards)]
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    def backend_kind(self) -> str:
+        return "shared"
+
+    def shard_index_of(self, root: MessageUid) -> int:
+        return self._router.partition_of(root)
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe_path_complete(self, callback: Callable[[MessageUid], None]) -> None:
+        self._path_complete_subscribers.append(callback)
+
+    def _notify(self, roots: Sequence[MessageUid]) -> None:
+        for root in roots:
+            for callback in self._path_complete_subscribers:
+                callback(root)
+
+    # -- writes ------------------------------------------------------------------
+
+    def add_message(self, message: Message) -> None:
+        injector = self.fault_injector
+        if injector is not None and injector.should_fail_store_write():
+            raise TransientStoreError(f"injected write failure for {message.uid}")
+        self._notify(self._hub.add_message(self.namespace, message))
+
+    def add_messages(self, messages: Sequence[Message]) -> int:
+        count, completed = self._hub.add_messages(self.namespace, None, list(messages))
+        self._notify(completed)
+        return count
+
+    def _shard_add_messages(self, index: int, messages: Sequence[Message]) -> int:
+        count, completed = self._hub.add_messages(self.namespace, index, list(messages))
+        self._notify(completed)
+        return count
+
+    def add_edge(self, cause: MessageUid, effect: MessageUid) -> None:
+        self._notify(self._hub.add_edge(self.namespace, cause, effect))
+
+    # -- reads -------------------------------------------------------------------
+
+    def contains(self, uid: MessageUid) -> bool:
+        return self._hub.contains(self.namespace, uid)
+
+    def get_node(self, uid: MessageUid):
+        return self._hub.get_node(self.namespace, uid)
+
+    def node_count(self) -> int:
+        return self._hub.node_count(self.namespace)
+
+    def root_of(self, uid: MessageUid) -> Optional[MessageUid]:
+        return self._hub.root_of(self.namespace, uid)
+
+    def successors(self, uid: MessageUid) -> Set[MessageUid]:
+        return self._hub.successors(self.namespace, uid)
+
+    def predecessors(self, uid: MessageUid) -> Set[MessageUid]:
+        return self._hub.predecessors(self.namespace, uid)
+
+    def iter_successors(self, uid: MessageUid) -> Iterator[MessageUid]:
+        return iter(self.successors(uid))
+
+    def iter_predecessors(self, uid: MessageUid) -> Iterator[MessageUid]:
+        return iter(self.predecessors(uid))
+
+    def all_uids(self) -> Iterable[MessageUid]:
+        return self._hub.all_uids(self.namespace)
+
+    def completed_signature(self, root: MessageUid):
+        return self._hub.completed_signature(self.namespace, root)
+
+    def graph_members(self, root: MessageUid) -> Tuple[MessageUid, ...]:
+        return tuple(self._hub.graph_members(self.namespace, root))
+
+    # -- legacy tallies ----------------------------------------------------------
+
+    @property
+    def edge_count(self) -> int:
+        return self._hub.tallies(self.namespace)[0]
+
+    @property
+    def cross_partition_edges(self) -> int:
+        return self._hub.tallies(self.namespace)[1]
+
+    @property
+    def index_lookups(self) -> int:
+        return self._hub.tallies(self.namespace)[2]
+
+    # -- maintenance -------------------------------------------------------------
+
+    def evict_graph(self, root: MessageUid) -> int:
+        return self._hub.evict_graph(self.namespace, root)
+
+    def abandon_root(self, root: MessageUid) -> int:
+        return self._hub.abandon_root(self.namespace, root)
+
+    def abandon_roots(self, roots: Iterable[MessageUid]) -> int:
+        return self._hub.abandon_roots(self.namespace, list(roots))
+
+    def repair_dangling_edges(self) -> int:
+        return self._hub.repair_dangling_edges(self.namespace)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Merge the namespace's server-side telemetry and disconnect.
+
+        After the merge, this run's local registry carries the same
+        non-volatile ``graphstore.*`` counters a memory-backend run
+        would have accumulated in-process — the cross-backend digest
+        contract.  Shuts the server down only when this client started
+        it (standalone single-run use).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.telemetry.merge_snapshot(self._hub.snapshot(self.namespace))
+        if self._owned_server is not None:
+            self._owned_server.shutdown()
+            self._owned_server = None

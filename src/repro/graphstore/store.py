@@ -35,7 +35,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
-from repro.errors import GraphStoreError, TransientStoreError
+from repro.errors import GraphStoreError, StoreBackendError, TransientStoreError
+from repro.graphstore.backend import GraphStoreBackend, MemoryBackend
 from repro.graphstore.partition import HashPartitioner
 from repro.lang.ir import CLIENT
 from repro.lang.message import Message, MessageUid
@@ -148,6 +149,13 @@ class GraphStore:
         :class:`~repro.errors.TransientStoreError` *before* mutating any
         state, modelling a lost write to the (remote) store — callers
         retry or dead-letter.
+    backend:
+        Optional :class:`~repro.graphstore.backend.GraphStoreBackend`.
+        The default (:class:`~repro.graphstore.backend.MemoryBackend`)
+        keeps the pre-backend in-process behaviour bit-identically; a
+        journaling backend (the append-only log) has every successful
+        mutation recorded after it lands, so :meth:`recover` on a fresh
+        store rebuilds the exact graph state after a restart.
     """
 
     def __init__(
@@ -156,6 +164,7 @@ class GraphStore:
         on_path_complete: Optional[Callable[[MessageUid], None]] = None,
         registry: Optional[MetricsRegistry] = None,
         fault_injector: Optional["FaultInjector"] = None,
+        backend: Optional[GraphStoreBackend] = None,
     ) -> None:
         self._partitioner = HashPartitioner(num_partitions)
         self._partition_of = self._partitioner.partition_of
@@ -175,6 +184,16 @@ class GraphStore:
         if on_path_complete is not None:
             self._path_complete_subscribers.append(on_path_complete)
         self.fault_injector = fault_injector
+        self.backend = backend if backend is not None else MemoryBackend()
+        # The hot path pays one is-None check; only journaling backends
+        # receive the per-mutation hooks.  ``_journal_write`` is the
+        # bound ``journal_message`` (kept in lockstep with ``_journal``
+        # by ``recover()``) so the per-message call skips an attribute
+        # chain.
+        self._journal = self.backend if self.backend.journaling else None
+        self._journal_write = (
+            self._journal.journal_message if self._journal is not None else None
+        )
         self.telemetry = registry if registry is not None else get_registry()
         self._m_nodes = self.telemetry.counter("graphstore.nodes_added")
         self._m_edges = self.telemetry.counter("graphstore.edges_added")
@@ -336,6 +355,10 @@ class GraphStore:
             self._m_edges.inc(len(causes))
             if cross:
                 self._m_cross.inc(cross)
+        if self._journal_write is not None:
+            # Journal after the mutation landed and before completion
+            # subscribers run (a subscriber may journal an eviction).
+            self._journal_write(message)
         if node.is_response:
             self._notify_path_complete(root)
         return node
@@ -354,6 +377,19 @@ class GraphStore:
             count += 1
         return count
 
+    def flush_journal(self) -> None:
+        """Push buffered journal frames to the backend's durability point.
+
+        Batch handoff (:meth:`add_messages`) deliberately does *not*
+        flush — a per-batch write syscall would dominate the batched
+        pipeline's ingest cost.  Durability instead rides the backend's
+        byte-bounded auto-flush plus this explicit point, which the
+        batched write pipeline hits once per drain (i.e. per flush
+        interval) and ``close()`` hits last.
+        """
+        if self._journal is not None:
+            self._journal.flush()
+
     def add_edge(self, cause: MessageUid, effect: MessageUid) -> None:
         """Record a directed causal edge ``cause → effect``."""
         if cause == effect:
@@ -369,6 +405,8 @@ class GraphStore:
         self._m_edges.inc()
         if self._partition_of(cause) != self._partition_of(effect):
             self._m_cross.inc()
+        if self._journal is not None:
+            self._journal.journal_edge(cause, effect)
         effect_reach = self._reach.get(effect)
         if effect_reach is None:
             # Raw edge to a node that is not (yet) stored; remember it so
@@ -539,6 +577,9 @@ class GraphStore:
         self._m_evictions.inc()
         self._m_evicted_nodes.inc(removed)
         self._m_evict_size.observe(removed)
+        if self._journal is not None:
+            self._journal.journal_evict(root)
+            self._journal.flush()
         return removed
 
     def abandon_root(self, root: MessageUid) -> int:
@@ -559,6 +600,9 @@ class GraphStore:
         self._m_evictions.inc()
         self._m_evicted_nodes.inc(removed)
         self._m_evict_size.observe(removed)
+        if self._journal is not None:
+            self._journal.journal_abandon(root)
+            self._journal.flush()
         return removed
 
     def _evict_by_traversal(self, root: MessageUid) -> int:
@@ -612,6 +656,9 @@ class GraphStore:
         self._dangling_effects.clear()
         if repaired:
             self._m_dangling_repaired.inc(repaired)
+        if self._journal is not None:
+            self._journal.journal_repair()
+            self._journal.flush()
         return repaired
 
     def _remove_all(self, uids: Iterable[MessageUid]) -> int:
@@ -634,3 +681,48 @@ class GraphStore:
             if accumulators:
                 accumulators.pop(uid, None)
         return removed
+
+    # -- backend lifecycle ---------------------------------------------------------
+
+    @property
+    def backend_kind(self) -> str:
+        """The attached backend's kind (``memory``/``log``)."""
+        return self.backend.kind
+
+    def recover(self) -> int:
+        """Rebuild graph state by replaying the backend's journal.
+
+        Call on a *fresh* store opened over an existing log directory
+        (``LogBackend(..., create=False)``).  Replay detaches the
+        journal (ops must not re-journal), the fault injector (recovery
+        is not a run — no seeded decision stream may be consumed), and
+        the completion subscribers (completions already fired in the
+        crashed process; replay must not re-trigger the profiler).
+        Telemetry counters do tick during replay — recovery is real work
+        this process performs — so recover into a private registry when
+        counter deltas matter.  Returns the number of ops replayed.
+        """
+        backend = self.backend
+        if not backend.journaling:
+            return 0
+        if self.node_count() or self._roots:
+            raise StoreBackendError(
+                "recover() requires an empty store — open a fresh store over "
+                "the existing log directory first"
+            )
+        journal, self._journal = self._journal, None
+        journal_write, self._journal_write = self._journal_write, None
+        injector, self.fault_injector = self.fault_injector, None
+        subscribers = self._path_complete_subscribers
+        self._path_complete_subscribers = []
+        try:
+            return backend.replay_into(self)
+        finally:
+            self._journal = journal
+            self._journal_write = journal_write
+            self.fault_injector = injector
+            self._path_complete_subscribers = subscribers
+
+    def close(self) -> None:
+        """Flush and close the backend (idempotent; memory is a no-op)."""
+        self.backend.close()

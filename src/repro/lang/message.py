@@ -49,6 +49,12 @@ class MessageUid:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError(f"MessageUid is immutable (cannot set {name!r})")
 
+    def __reduce__(self):
+        # The immutable __setattr__ breaks the default slot-state
+        # unpickling; rebuild through __init__ instead (the shared-store
+        # backend ships uids across a multiprocessing proxy boundary).
+        return (MessageUid, (self.address, self.process_id, self.seq))
+
     def __hash__(self) -> int:
         return self._hash
 

@@ -42,6 +42,8 @@ from repro.core.sampling import RequestSampler
 from repro.errors import SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.graphstore.backend import BACKENDS as STORE_BACKENDS
+from repro.graphstore.backend import make_backend, shard_backends
 from repro.graphstore.sharded import ShardedGraphStore
 from repro.graphstore.store import GraphStore
 from repro.lang.ir import Application
@@ -96,10 +98,23 @@ class SimulationConfig:
     #: the pre-sketch profiler.
     profiler_mode: str = "exact"
     profiler_topk: int = DEFAULT_TOPK_K
+    #: Graph-store backend behind the DCA tracker: in-process dicts
+    #: (``memory``, the default), the crash-safe append-only log
+    #: (``log``, requires ``store_dir``), or the process-shared store
+    #: server (``shared``) — see :mod:`repro.graphstore.backend`.
+    store_backend: str = "memory"
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.duration_minutes < 1:
             raise SimulationError(f"duration_minutes must be >= 1, got {self.duration_minutes}")
+        if self.store_backend not in STORE_BACKENDS:
+            raise SimulationError(
+                f"store_backend must be one of {STORE_BACKENDS}, "
+                f"got {self.store_backend!r}"
+            )
+        if self.store_backend == "log" and self.store_dir is None:
+            raise SimulationError("store_backend 'log' requires store_dir")
         if not 0 < self.req_min_utilization <= 1:
             raise SimulationError(
                 f"req_min_utilization must be in (0, 1], got {self.req_min_utilization}"
@@ -163,6 +178,11 @@ class DCABundle:
         maintenance_workers: int = 0,
         profiler_mode: str = "exact",
         profiler_topk: int = DEFAULT_TOPK_K,
+        store_backend: str = "memory",
+        store_dir: Optional[str] = None,
+        store_namespace: Optional[str] = None,
+        shared_address: Optional[str] = None,
+        shared_authkey: Optional[str] = None,
     ) -> "DCABundle":
         """Analyse, instrument, and wire the full DCA pipeline for ``app``.
 
@@ -179,6 +199,15 @@ class DCABundle:
         of it.  The injector's write-fault channel then moves with the
         roll owner (facade when unbatched, pipeline when batched) so the
         seeded fault stream is configuration-independent.
+
+        ``store_backend`` selects the persistence seam
+        (:mod:`repro.graphstore.backend`): ``log`` journals every store
+        mutation into ``store_dir`` (crc32-framed rotated segments);
+        ``shared`` connects to a store server at ``shared_address``
+        (authkey hex in ``shared_authkey``) under ``store_namespace`` —
+        or starts a private server for this run when no address is
+        given.  Either way the non-volatile telemetry the run produces
+        is bit-identical to the memory backend's.
         """
         dca_result = analyze_application(app)
         runtime = ApplicationRuntime(
@@ -202,15 +231,61 @@ class DCABundle:
         # store write: the batched pipeline (batch > 1) or the store
         # itself (unbatched), never both.
         store_injector = injector if write_batch_size <= 1 else None
-        if num_shards > 1:
+        if store_backend not in STORE_BACKENDS:
+            raise SimulationError(
+                f"unknown store backend {store_backend!r}; choose from {STORE_BACKENDS}"
+            )
+        if store_backend == "shared":
+            from repro.graphstore.shared import (
+                SharedGraphStoreClient,
+                SharedStoreServer,
+            )
+
+            owned_server = None
+            if shared_address is None:
+                # No external server given: start a private one whose
+                # lifetime is tied to this client (shut down on close()).
+                owned_server = SharedStoreServer()
+                owned_server.start()
+                shared_address = owned_server.address
+                shared_authkey = owned_server.authkey_hex
+            if shared_authkey is None:
+                raise SimulationError(
+                    "shared store backend requires an authkey alongside the address"
+                )
+            store = SharedGraphStoreClient(
+                shared_address,
+                bytes.fromhex(shared_authkey),
+                namespace=store_namespace or "default",
+                num_shards=num_shards,
+                registry=registry,
+                fault_injector=store_injector,
+                owned_server=owned_server,
+            )
+        elif num_shards > 1:
+            backends = None
+            if store_backend == "log":
+                if store_dir is None:
+                    raise SimulationError("log store backend requires store_dir")
+                backends = shard_backends(
+                    "log", num_shards, store_dir, registry=registry
+                )
             store = ShardedGraphStore(
                 num_shards=num_shards,
                 registry=registry,
                 fault_injector=store_injector,
                 maintenance_workers=maintenance_workers,
+                backends=backends,
             )
         else:
-            store = GraphStore(registry=registry, fault_injector=store_injector)
+            backend = None
+            if store_backend == "log":
+                if store_dir is None:
+                    raise SimulationError("log store backend requires store_dir")
+                backend = make_backend("log", store_dir, registry=registry)
+            store = GraphStore(
+                registry=registry, fault_injector=store_injector, backend=backend
+            )
         tracker = DirectCausalityTracker(
             profiler,
             store=store,
@@ -338,18 +413,36 @@ class ClusterSimulator:
     # -- main loop -----------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        if self.config.engine == "event":
-            from repro.sim.events import EventDrivenRunner
+        try:
+            if self.config.engine == "event":
+                from repro.sim.events import EventDrivenRunner
 
-            runner = EventDrivenRunner(self)
-            # Kept for introspection (tests, benchmarks, CLI stats).
-            self.event_runner = runner
-            return runner.run()
-        result = SimulationResult(manager_name=self.manager.name, application=self.app.name)
-        interval = self.config.interval_minutes
-        for k in range(self.config.num_intervals):
-            self.run_interval(k * interval, result)
-        return result
+                runner = EventDrivenRunner(self)
+                # Kept for introspection (tests, benchmarks, CLI stats).
+                self.event_runner = runner
+                return runner.run()
+            result = SimulationResult(manager_name=self.manager.name, application=self.app.name)
+            interval = self.config.interval_minutes
+            for k in range(self.config.num_intervals):
+                self.run_interval(k * interval, result)
+            return result
+        finally:
+            self._close_store()
+
+    def _close_store(self) -> None:
+        """Release the graph store's backend at end of run.
+
+        A no-op for the in-process memory backend; flushes and closes
+        log segments, and (for the shared backend) merges the server-side
+        telemetry namespace into the local registry before shutting down
+        a privately owned server.  Must run *after* the last interval so
+        every buffered write has already been applied and journaled.
+        """
+        if self.dca is None:
+            return
+        close = getattr(self.dca.tracker.store, "close", None)
+        if close is not None:
+            close()
 
     def run_interval(
         self,

@@ -111,6 +111,11 @@ REPLAY_CONVERGENCE_STREAK = 48
 #: (see module docstring for why).
 VOLATILE_METRIC_KEYS = frozenset({"graphstore.cross_partition_edges"})
 VOLATILE_METRIC_SUFFIX = "_seconds"
+#: Backend diagnostics (flush/fsync/rotation/byte counters) are a
+#: property of the persistence seam, not the simulated run; every
+#: journaling backend reports its own, so they are excluded from both
+#: the parity contract and cross-backend digest comparison.
+VOLATILE_METRIC_PREFIX = "graphstore.backend_"
 
 #: Metric base names the profiler maintains itself during replay (the
 #: frozen delta must not double-count them).  The sketch gauges are
@@ -142,7 +147,11 @@ def metric_base_name(key: str) -> str:
 def is_volatile_metric_key(key: str) -> bool:
     """Whether ``key`` is excluded from the tick/event parity contract."""
     base = metric_base_name(key)
-    return base.endswith(VOLATILE_METRIC_SUFFIX) or base in VOLATILE_METRIC_KEYS
+    return (
+        base.endswith(VOLATILE_METRIC_SUFFIX)
+        or base.startswith(VOLATILE_METRIC_PREFIX)
+        or base in VOLATILE_METRIC_KEYS
+    )
 
 
 class EventQueue:
@@ -354,6 +363,11 @@ class ReplayIngestor:
         if (
             not self.replaying
             and self.sim.dca.profiler.mode == "exact"
+            # Re-checked at the cutover (not just construction): if the
+            # tracker's store/backend configuration changed under us —
+            # e.g. a journaling backend was swapped in mid-run — freezing
+            # would silently stop feeding the durable log.
+            and self.sim.dca.tracker.supports_snapshot_replay
             and all(s.converged for s in self.states.values())
         ):
             self._freeze_all(now)

@@ -101,7 +101,7 @@ class TestRunMatrix:
 
         cell = MATRIX.cell_at(0)
 
-        def fake_run_cell(cell_arg, repeat=0):
+        def fake_run_cell(cell_arg, repeat=0, store_backend="memory", store_dir=None):
             return CellRunResult(
                 cell_id=cell_arg.cell_id,
                 repeat=repeat,

@@ -70,6 +70,33 @@ class TestTable:
         assert "Fig. 8" in out
 
 
+class TestStoreBackendOptions:
+    def test_simulate_on_log_backend_leaves_a_journal(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(
+            [
+                "simulate", "hedwig", "--manager", "DCA-10%", "--duration", "10",
+                "--store-backend", "log", "--store-dir", str(store),
+            ]
+        ) == 0
+        assert "agility" in capsys.readouterr().out
+        segments = list(store.glob("dca-10/segment-*.log"))
+        assert segments, "log backend produced no segments"
+
+    def test_log_backend_without_store_dir_is_an_error(self, capsys):
+        assert main(
+            [
+                "simulate", "hedwig", "--manager", "DCA-10%", "--duration", "10",
+                "--store-backend", "log",
+            ]
+        ) == 1
+        assert "store_dir" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "hedwig", "--store-backend", "titan"])
+
+
 class TestEntryPoint:
     def test_module_is_invocable(self):
         import subprocess
