@@ -63,6 +63,7 @@ BENCH_FILES = (
     "benchmarks/bench_robustness_seeds.py::test_bench_fault_matrix_graceful_degradation",
     "benchmarks/bench_profiler_sketch.py",
     "benchmarks/bench_store_backend.py",
+    "benchmarks/bench_replay_prod.py",
 )
 
 #: Calibration can scale the allowance by at most this factor either

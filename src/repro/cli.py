@@ -25,7 +25,13 @@ from repro.apps.catalog import SCENARIOS, load_scenario
 from repro.core.dca import analyze_application
 from repro.core.paths import enumerate_causal_paths
 from repro.errors import ReproError
-from repro.evalx.experiment import MANAGER_NAMES, ExperimentConfig, run_all_managers, run_manager
+from repro.evalx.experiment import (
+    MANAGER_NAMES,
+    ExperimentConfig,
+    MergedProfile,
+    run_all_managers,
+    run_manager,
+)
 from repro.faults import FAULT_SCENARIOS, build_fault_plan
 from repro.graphstore.backend import BACKENDS as STORE_BACKENDS
 from repro.evalx.overhead import fig5_measurements
@@ -183,6 +189,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="process-pool workers for the per-manager runs (1 = serial)",
     )
+    p_table.add_argument(
+        "--merged-profile", metavar="PATH",
+        help="write the sweep's combined profiler checkpoint to PATH "
+        "(per-manager/per-worker profiles merged — composes with "
+        "--profiler-mode topk/component, no exact-mode fallback)",
+    )
     _add_store_options(p_table)
 
     p_report = sub.add_parser(
@@ -195,6 +207,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--workers", type=int, default=1,
         help="process-pool workers for the per-manager runs (1 = serial)",
+    )
+    p_report.add_argument(
+        "--merged-profile", metavar="PATH",
+        help="write the sweep's combined profiler checkpoint to PATH "
+        "(per-manager/per-worker profiles merged — composes with "
+        "--profiler-mode topk/component, no exact-mode fallback)",
     )
     _add_store_options(p_report)
 
@@ -535,16 +553,39 @@ def _cmd_chaos(args) -> int:
     return 1 if failing else 0
 
 
+def _write_merged_profile(profile: MergedProfile, path: str, now_minutes: float) -> None:
+    """Persist a sweep's combined profiler and print a short summary."""
+    if profile.profiler is None:
+        print("merged profile: no DCA run contributed a profiler")
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(profile.profiler.to_json())
+    counts = profile.profiler.counts(float(now_minutes))
+    top = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+    print(
+        f"merged profile: {profile.profiler.mode} mode, "
+        f"{len(profile.by_manager)} DCA run(s) merged -> {path}"
+    )
+    for key, count in top:
+        if count > 0:
+            print(f"  {key}: {count}")
+
+
 def _cmd_table(args) -> int:
     results_by_app = {}
+    profile = MergedProfile() if args.merged_profile else None
     for name in args.scenarios:
         scenario = load_scenario(name)
         config = _experiment_config(args)
-        results_by_app[name] = run_all_managers(scenario, config=config, workers=args.workers)
+        results_by_app[name] = run_all_managers(
+            scenario, config=config, workers=args.workers, profile=profile
+        )
     print("Average agility (Fig. 8; lower is better):")
     print(fig8_table(results_by_app))
     print("\nSLA violations (RQ5):")
     print(sla_table(results_by_app))
+    if profile is not None:
+        _write_merged_profile(profile, args.merged_profile, args.duration)
     return 0
 
 
@@ -560,11 +601,14 @@ def _cmd_report(args) -> int:
     ]
     overheads = {}
     results_by_app = {}
+    profile = MergedProfile() if args.merged_profile else None
     for name in args.scenarios:
         scenario = load_scenario(name)
         overheads[name] = fig5_measurements(scenario, duration_minutes=args.duration)
         config = _experiment_config(args)
-        results_by_app[name] = run_all_managers(scenario, config=config, workers=args.workers)
+        results_by_app[name] = run_all_managers(
+            scenario, config=config, workers=args.workers, profile=profile
+        )
 
     sections += ["", "## Fig. 5 — DCA runtime overhead", "```",
                  fig5_table(overheads), "```"]
@@ -579,6 +623,8 @@ def _cmd_report(args) -> int:
     with open(args.output, "w", encoding="utf-8") as fh:
         fh.write(text)
     print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    if profile is not None:
+        _write_merged_profile(profile, args.merged_profile, args.duration)
     return 0
 
 

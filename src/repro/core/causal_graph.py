@@ -62,6 +62,7 @@ from repro.core.paths import signature_from_edges
 from repro.errors import TransientStoreError
 from repro.faults.injector import FaultInjector
 from repro.graphstore.pipeline import BatchedWritePipeline, DeadLetterQueue
+from repro.graphstore.sharded import ShardedGraphStore
 from repro.graphstore.store import GraphStore
 from repro.lang.message import Message, MessageUid
 from repro.profiling.profiler import CausalPathProfiler
@@ -231,20 +232,71 @@ class DirectCausalityTracker:
         delta and stops feeding the store, so it is only sound when no
         per-message state can diverge from the frozen template: no fault
         injector (message channels and store-write rolls consume seeded
-        RNG streams), no path timeout (per-root age bookkeeping), no
-        batched pipeline (flush boundaries straddle executions), and the
-        plain single store (a sharded store keys telemetry by the uid
-        hash of each root, which varies per execution) on the in-process
-        memory backend (a journaling backend must see every mutation;
-        replay skips store writes entirely, so a frozen run would leave
-        the durable log silently incomplete).
+        RNG streams), no path timeout (per-root age bookkeeping), and a
+        memory-backend store (a journaling backend must see every
+        mutation; replay skips store writes entirely, so a frozen run
+        would leave the durable log silently incomplete).
+
+        Sharded stores and the batched write pipeline *are* eligible:
+        :meth:`observe_all` ends every execution with :meth:`flush`,
+        which drains the pipeline, so flush boundaries never straddle
+        executions — per-execution batch telemetry (``write_batches``,
+        ``batched_writes``, batch-size histograms) is a deterministic
+        function of the converged trace shape, and the buffers are empty
+        at the cutover.  Shard routing is uid-hash-dependent, but no
+        non-volatile metric is keyed per shard: hash-variant aggregates
+        (``cross_partition_edges``) are declared volatile, and anything
+        else that failed to settle would merely hold the convergence
+        streak at zero rather than diverge after a freeze.  The replay
+        ingestor additionally fingerprints the pipeline/dead-letter
+        residue each execution leaves behind and drains the pipeline
+        (journal included) before freezing — see
+        :meth:`drain_pipeline` and :mod:`repro.sim.events`.
         """
-        return (
-            self._plain_path
-            and self._pipeline is None
-            and type(self.store) is GraphStore
-            and getattr(self.store, "backend_kind", "memory") == "memory"
-        )
+        if not self._plain_path:
+            return False
+        store = self.store
+        if type(store) is ShardedGraphStore:
+            if any(shard.backend_kind != "memory" for shard in store.shards):
+                return False
+        elif type(store) is not GraphStore:
+            return False
+        elif getattr(store, "backend_kind", "memory") != "memory":
+            return False
+        return True
+
+    @property
+    def buffered_writes(self) -> int:
+        """Messages sitting in the batched write pipeline (0 if unbatched)."""
+        if self._pipeline is None:
+            return 0
+        return self._pipeline.buffered
+
+    @property
+    def pending_completion_depth(self) -> int:
+        """Completed roots awaiting :meth:`flush` processing."""
+        return len(self._pending_completion)
+
+    def drain_pipeline(self) -> int:
+        """Flush buffered writes and the journal; return messages written.
+
+        The replay cutover barrier: called by the event engine's
+        :meth:`~repro.sim.events.ReplayIngestor._freeze_all` *before*
+        any class delta is frozen, so every write submitted during
+        warmup reaches the store — and, on journaling backends, the
+        durable log's flush point — ahead of the moment ingestion stops
+        feeding the store.  Deliberately leaves the pipeline's flush
+        timer untouched (``flush(now_minutes=None)``) so the periodic
+        tick schedule stays bit-identical to the tick engine's.
+        """
+        written = 0
+        if self._pipeline is not None:
+            written = self._pipeline.flush()
+        else:
+            flush_journal = getattr(self.store, "flush_journal", None)
+            if flush_journal is not None:
+                flush_journal()
+        return written
 
     def next_delayed_due_minutes(self) -> Optional[float]:
         """Earliest due time among fault-delayed messages, or ``None``.

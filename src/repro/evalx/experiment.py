@@ -29,7 +29,7 @@ from repro.errors import EvaluationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.graphstore.backend import BACKENDS as STORE_BACKENDS
-from repro.profiling.profiler import PROFILER_MODES
+from repro.profiling.profiler import PROFILER_MODES, CausalPathProfiler
 from repro.profiling.sketches import DEFAULT_TOPK_K
 from repro.sim.engine import ENGINES, ClusterSimulator, DCABundle, SimulationConfig
 from repro.sim.metrics import SimulationResult
@@ -266,24 +266,74 @@ def run_manager(
     return build_simulator(scenario, manager_name, config).run()
 
 
+class MergedProfile:
+    """Sweep-level causal-path profile, combined across manager runs.
+
+    The profiler analogue of passing a shared ``registry`` into
+    :func:`run_all_managers`: each DCA manager run — serial or in a pool
+    worker — ships its profiler checkpoint (v2 JSON, sketch state
+    included) back to the sweep, and this collector folds them into one
+    combined :class:`~repro.profiling.profiler.CausalPathProfiler` via
+    :meth:`~repro.profiling.profiler.CausalPathProfiler.merge`.  Because
+    the sketches are mergeable summaries, this works in whatever
+    precision mode the sweep configured — ``--workers N --profiler-mode
+    topk`` combines per-worker space-saving/count-min state instead of
+    requiring exact mode.  Baseline managers have no profiler and
+    contribute nothing.
+    """
+
+    def __init__(self) -> None:
+        #: The combined profiler (``None`` until a DCA run contributes).
+        self.profiler: Optional[CausalPathProfiler] = None
+        #: Per-manager restored profilers, for per-run inspection.
+        self.by_manager: Dict[str, CausalPathProfiler] = {}
+
+    def add(self, manager_name: str, checkpoint: Optional[str]) -> None:
+        """Fold one manager run's profiler checkpoint into the sweep."""
+        if checkpoint is None:
+            return
+        # Private registries: the restored profilers' instruments must
+        # not leak into the sweep's shared telemetry (the runner merges
+        # worker registry snapshots separately).
+        restored = CausalPathProfiler.from_json(checkpoint, registry=MetricsRegistry())
+        self.by_manager[manager_name] = restored
+        if self.profiler is None:
+            self.profiler = CausalPathProfiler.from_json(
+                checkpoint, registry=MetricsRegistry()
+            )
+        else:
+            self.profiler.merge(restored)
+
+
+def _profiler_checkpoint(simulator: ClusterSimulator) -> Optional[str]:
+    """The run's profiler checkpoint, or ``None`` for baseline managers."""
+    if simulator.dca is None:
+        return None
+    return simulator.dca.profiler.to_json()
+
+
 def _run_manager_task(
     scenario_name: str,
     manager_name: str,
     config: Optional[ExperimentConfig],
-) -> Tuple[str, SimulationResult, Dict[str, object]]:
+) -> Tuple[str, SimulationResult, Dict[str, object], Optional[str]]:
     """Process-pool worker: one manager, one scenario, own telemetry.
 
     Top-level (picklable) on purpose.  The scenario travels by *name* and
     is rebuilt from the catalog inside the worker; the worker records
     into a private registry and ships its snapshot back, so workers never
-    share mutable telemetry state — the parent merges the snapshots.
+    share mutable telemetry state — the parent merges the snapshots.  DCA
+    runs also ship the profiler checkpoint so the parent can merge
+    per-worker profiles (sketch state included) into a
+    :class:`MergedProfile`.
     """
     from repro.apps.catalog import load_scenario
 
     scenario = load_scenario(scenario_name)
     registry = MetricsRegistry()
-    result = build_simulator(scenario, manager_name, config, registry=registry).run()
-    return manager_name, result, registry.snapshot()
+    simulator = build_simulator(scenario, manager_name, config, registry=registry)
+    result = simulator.run()
+    return manager_name, result, registry.snapshot(), _profiler_checkpoint(simulator)
 
 
 def run_all_managers(
@@ -292,6 +342,7 @@ def run_all_managers(
     config: Optional[ExperimentConfig] = None,
     workers: int = 1,
     registry: Optional[MetricsRegistry] = None,
+    profile: Optional[MergedProfile] = None,
 ) -> Dict[str, SimulationResult]:
     """Run all (or the given) managers over one scenario.
 
@@ -301,6 +352,11 @@ def run_all_managers(
     the way back, so the aggregate counters match a serial run.  Falls
     back to the serial path for scenarios not in the catalog (the worker
     rebuilds the scenario by name).
+
+    ``profile`` collects the sweep's combined causal-path profile: every
+    DCA run contributes its profiler checkpoint — sketch state included,
+    so it composes with ``profiler_mode='topk'``/``'component'`` — and
+    the collector merges them (see :class:`MergedProfile`).
     """
     names = tuple(managers) if managers is not None else MANAGER_NAMES
     results: Dict[str, SimulationResult] = {}
@@ -338,12 +394,19 @@ def run_all_managers(
                         for name in names
                     ]
                     for future in futures:
-                        name, result, snapshot = future.result()
+                        name, result, snapshot, checkpoint = future.result()
                         results[name] = result
                         merged.merge_snapshot(snapshot)
+                        if profile is not None:
+                            profile.add(name, checkpoint)
                 return results
         for name in names:
-            results[name] = run_manager(scenario, name, config)
+            if profile is None:
+                results[name] = run_manager(scenario, name, config)
+            else:
+                simulator = build_simulator(scenario, name, config)
+                results[name] = simulator.run()
+                profile.add(name, _profiler_checkpoint(simulator))
         return results
     finally:
         if server is not None:

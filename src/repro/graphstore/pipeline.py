@@ -70,6 +70,11 @@ class DeadLetterQueue:
         self._m_purged = self.telemetry.counter("store.dead_letter_purged")
         self._m_depth = self.telemetry.gauge("store.dead_letter_depth")
 
+    @property
+    def depth(self) -> int:
+        """Messages currently parked (the ``dead_letter_depth`` gauge value)."""
+        return len(self._items)
+
     def append(self, message: Message) -> None:
         items = self._items
         if self.max_size <= 0:

@@ -515,6 +515,66 @@ class CausalPathProfiler:
             counts=self.counts(now_minutes),
         )
 
+    # -- merging -----------------------------------------------------------------
+
+    def merge(self, other: "CausalPathProfiler") -> None:
+        """Fold a peer profiler's window state into this one.
+
+        The profiler analogue of
+        :meth:`~repro.telemetry.MetricsRegistry.merge_snapshot`: the
+        parallel experiment runner builds one profiler per worker over a
+        partition of the sweep and merges them back — in whatever
+        precision mode the sweep asked for, instead of forcing exact.
+        Both sides must share the mode and window (and ``k`` in ``topk``
+        mode); exact buckets add per minute and reindex, sketches merge
+        via their mergeable-summary operations
+        (:mod:`repro.profiling.sketches`), component tables add per
+        epoch.  Dynamic-registration/unmatched tallies carry over;
+        per-path ``profiler.path_completions`` counters do *not* — they
+        live in each worker's telemetry registry, whose snapshot the
+        runner merges separately (double-counting them here would skew
+        the sweep's telemetry).
+        """
+        if other._mode != self._mode:
+            raise ProfilingError(
+                f"cannot merge profilers in different modes: {self._mode!r} vs {other._mode!r}"
+            )
+        if other.window_minutes != self.window_minutes:
+            raise ProfilingError(
+                "cannot merge profilers with different windows: "
+                f"{self.window_minutes} vs {other.window_minutes}"
+            )
+        for sig in other._paths.values():
+            self._register(sig)
+        if self._mode == "exact":
+            for pid, buckets in other._buckets.items():
+                if not buckets:
+                    continue
+                mine = self._buckets[pid]
+                for epoch, count in buckets.items():
+                    mine[epoch] = mine.get(epoch, 0) + count
+                self._buckets[pid] = OrderedDict(sorted(mine.items()))
+            self._reindex()
+        elif self._mode == "topk":
+            if other._topk_k != self._topk_k:
+                raise ProfilingError(
+                    f"cannot merge topk profilers of different k: "
+                    f"{self._topk_k} vs {other._topk_k}"
+                )
+            self._sketch.merge(other._sketch)
+            self._m_evictions.set(float(self._sketch.evictions))
+        else:
+            self._component_summary.merge(other._component_summary)
+        if other.dynamic_registrations:
+            self._m_dynamic.inc(other.dynamic_registrations)
+        if other.unmatched_observations:
+            self._m_unmatched.inc(other.unmatched_observations)
+        if other.last_record_minutes is not None and (
+            self.last_record_minutes is None
+            or other.last_record_minutes > self.last_record_minutes
+        ):
+            self.last_record_minutes = other.last_record_minutes
+
     # -- persistence ------------------------------------------------------------
 
     def to_json(self) -> str:
@@ -557,12 +617,17 @@ class CausalPathProfiler:
         return json.dumps(payload)
 
     @classmethod
-    def from_json(cls, data: str) -> "CausalPathProfiler":
+    def from_json(
+        cls, data: str, registry: Optional[MetricsRegistry] = None
+    ) -> "CausalPathProfiler":
         """Restore a profiler checkpointed with :meth:`to_json`.
 
         Reads both checkpoint formats: v2 (current) and v1 (pre-sketch,
         identified by the missing ``version`` key — always exact mode,
-        with ``last_record_minutes`` unknown).
+        with ``last_record_minutes`` unknown).  ``registry`` scopes the
+        restored profiler's instruments (the parallel runner restores
+        per-worker checkpoints into private registries so the sweep's
+        shared registry only sees the explicitly merged telemetry).
         """
         import json
 
@@ -583,6 +648,7 @@ class CausalPathProfiler:
         profiler = cls(
             by_request,
             window_minutes=payload["window_minutes"],
+            registry=registry,
             mode=mode,
             topk=topk,
         )

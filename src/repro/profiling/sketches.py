@@ -33,6 +33,19 @@ horizon is still inside the window).  Like the exact bucket store, the
 epoch rings assume record times are (mostly) monotone — the simulator's
 clock is.
 
+Mergeability
+------------
+
+Every summary here is a *mergeable summary*: per-worker instances built
+over a partition of one record stream fold into a single instance whose
+estimates match a sketch of the whole stream (count-min exactly, by
+linearity; space-saving within the absent side's floor — see
+:meth:`SpaceSavingTopK.merge`).  Merges are epoch-aligned so the sliding
+window keeps expiring correctly afterwards, and deterministic (sorted
+union order, ``(total, key)`` eviction tiebreak) so parallel sweeps stay
+reproducible.  This is what lets the parallel experiment runner keep
+``--profiler-mode topk`` instead of forcing exact mode per worker.
+
 Error model
 -----------
 
@@ -190,6 +203,42 @@ class WindowedCountMinSketch:
         """Classic CMS overestimate bound: ``e/width`` of the tail mass."""
         return 2.718281828459045 * self.total / self.width
 
+    def merge(self, other: "WindowedCountMinSketch") -> None:
+        """Fold ``other`` into this sketch by epoch-aligned table addition.
+
+        Count-min is linear: cell-wise addition of two sketches with the
+        same geometry (width, depth — and therefore the same salt rows)
+        yields *exactly* the sketch of the concatenated streams, so a
+        per-worker partition of a record stream merges without any added
+        error.  Epochs are aligned minute by minute so windowed expiry
+        keeps working after the merge; the ring is re-sorted because the
+        other side may contribute minutes older than our newest.
+        """
+        if (other.width, other.depth) != (self.width, self.depth):
+            raise ProfilingError(
+                "cannot merge count-min sketches of different geometry: "
+                f"{self.width}x{self.depth} vs {other.width}x{other.depth}"
+            )
+        if other.window_minutes != self.window_minutes:
+            raise ProfilingError(
+                "cannot merge count-min sketches with different windows: "
+                f"{self.window_minutes} vs {other.window_minutes}"
+            )
+        agg = self._agg
+        for epoch, table in other._epochs.items():
+            mine = self._epochs.get(epoch)
+            if mine is None:
+                mine = self._epochs[epoch] = {}
+                self._epoch_totals[epoch] = 0
+            for idx, c in table.items():
+                mine[idx] = mine.get(idx, 0) + c
+                agg[idx] += c
+            epoch_total = other._epoch_totals[epoch]
+            self._epoch_totals[epoch] += epoch_total
+            self.total += epoch_total
+        # Restore the chronological insertion order advance() relies on.
+        self._epochs = OrderedDict(sorted(self._epochs.items()))
+
     # -- persistence (checkpoint format v2) ------------------------------------
 
     def to_state(self) -> Dict[str, object]:
@@ -319,6 +368,59 @@ class SpaceSavingTopK:
         if not self._entries:
             return 0
         return max(entry.error for entry in self._entries.values())
+
+    def merge(self, other: "SpaceSavingTopK") -> None:
+        """Fold ``other`` into this summary (mergeable-summaries union).
+
+        Keys are unioned with their per-epoch rings added minute by
+        minute, then the union is evicted back down to ``k`` smallest
+        first under the deterministic ``(total, key)`` tiebreak — so the
+        merged result is independent of merge order beyond the summable
+        state itself.  A key one side never monitored may have been
+        absorbed into that side's unmonitored mass; its true count there
+        is bounded by that side's minimum total when the side is full,
+        and is exactly zero when the side still has spare capacity
+        (space-saving monitors every key it sees until ``k`` are live).
+        That bound is added to ``entry.error``, which after a merge
+        therefore bounds ``|total - true|`` in *both* directions: the
+        per-epoch rings stay pure (no phantom mass is injected into any
+        minute), at the cost of a possible bounded underestimate for
+        keys hot on only one side.
+        """
+        if other.k != self.k:
+            raise ProfilingError(
+                f"cannot merge top-k summaries of different k: {self.k} vs {other.k}"
+            )
+        if other.window_minutes != self.window_minutes:
+            raise ProfilingError(
+                "cannot merge top-k summaries with different windows: "
+                f"{self.window_minutes} vs {other.window_minutes}"
+            )
+        self_floor = (
+            self.min_entry().total if len(self._entries) >= self.k else 0
+        )
+        other_floor = (
+            other.min_entry().total if len(other._entries) >= other.k else 0
+        )
+        for key in sorted(set(self._entries) | set(other._entries)):
+            mine = self._entries.get(key)
+            theirs = other._entries.get(key)
+            if mine is None:
+                mine = _TopKEntry(key, error=theirs.error + self_floor)
+                self._entries[key] = mine
+                for epoch, count in theirs.epochs.items():
+                    self._bump(mine, count, epoch)
+            elif theirs is None:
+                mine.error += other_floor
+            else:
+                mine.error += theirs.error
+                for epoch, count in theirs.epochs.items():
+                    self._bump(mine, count, epoch)
+        while len(self._entries) > self.k:
+            self.evict(self.min_entry().key)
+        self.evictions += other.evictions
+        # Restore the chronological order the window advance relies on.
+        self._epoch_keys = OrderedDict(sorted(self._epoch_keys.items()))
 
     # -- persistence (checkpoint format v2) ------------------------------------
 
@@ -483,6 +585,27 @@ class TopKPathSummary:
         """Worst-case hot-path probability overestimate right now."""
         return self.topk.max_error() / max(1, self.sample_total)
 
+    def merge(self, other: "TopKPathSummary") -> None:
+        """Fold a peer summary (e.g. another worker's) into this one.
+
+        All three constituents merge independently: the space-saving
+        union re-evicts to ``k`` deterministically, the count-min tables
+        add exactly (linearity), and the exact per-epoch scalar totals
+        add minute by minute — so :meth:`counts` keeps pinning the
+        merged estimates to the *combined* exact windowed total.
+        """
+        if other.window_minutes != self.window_minutes:
+            raise ProfilingError(
+                "cannot merge path summaries with different windows: "
+                f"{self.window_minutes} vs {other.window_minutes}"
+            )
+        self.topk.merge(other.topk)
+        self.cms.merge(other.cms)
+        for epoch, count in other._sample_epochs.items():
+            self._sample_epochs[epoch] = self._sample_epochs.get(epoch, 0) + count
+            self.sample_total += count
+        self._sample_epochs = OrderedDict(sorted(self._sample_epochs.items()))
+
     # -- persistence (checkpoint format v2) ------------------------------------
 
     def to_state(self) -> Dict[str, object]:
@@ -571,6 +694,26 @@ class ComponentActivitySummary:
         if self.request_total <= 0:
             return {}
         return {comp: count / self.request_total for comp, count in totals.items()}
+
+    def merge(self, other: "ComponentActivitySummary") -> None:
+        """Fold a peer summary in by per-epoch component-table addition."""
+        if other.window_minutes != self.window_minutes:
+            raise ProfilingError(
+                "cannot merge component summaries with different windows: "
+                f"{self.window_minutes} vs {other.window_minutes}"
+            )
+        for epoch, table in other._epochs.items():
+            mine = self._epochs.get(epoch)
+            if mine is None:
+                mine = self._epochs[epoch] = {}
+                self._epoch_requests[epoch] = 0
+            for comp, count in table.items():
+                mine[comp] = mine.get(comp, 0) + count
+                self._totals[comp] = self._totals.get(comp, 0) + count
+            requests = other._epoch_requests[epoch]
+            self._epoch_requests[epoch] += requests
+            self.request_total += requests
+        self._epochs = OrderedDict(sorted(self._epochs.items()))
 
     # -- persistence (checkpoint format v2) ------------------------------------
 

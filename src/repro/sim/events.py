@@ -50,12 +50,17 @@ Converged replay
 
 During warmup every live trace of every class is executed for real
 while the engine records (a) the per-execution telemetry delta
-(captured by diffing the registry around the execution) and (b) the
+(captured by diffing the registry around the execution), (b) the
 trace's uid-free
-:meth:`~repro.sim.runtime.RequestTrace.structural_fingerprint`.
+:meth:`~repro.sim.runtime.RequestTrace.structural_fingerprint`, and
+(c) the *ingestion residue* — a shard/batch-invariant tuple of what
+the execution left behind in the write machinery (pipeline buffer
+depth, pending completions, dead-letter depth, net store growth).
 Cutover is **global and atomic**: only once *every* active class has
 shown :data:`REPLAY_CONVERGENCE_STREAK` consecutive executions with an
-identical delta *and* fingerprint does the engine freeze them all.
+identical delta, fingerprint, *and* residue does the engine freeze
+them all — after first draining the batched write pipeline (journal
+flush included) so no buffered write is stranded by the freeze.
 Per-class cutover would be unsound — request classes share replica
 state (uid factories, provenance taints, component caches), so
 skipping one class's executions perturbs the traces of classes still
@@ -71,14 +76,23 @@ sets filling) before the per-execution effects settle, so the
 threshold must comfortably exceed them.
 
 Replay is only eligible when ingestion is pure counting — no fault
-injector, no path timeout, no write batching, no sharded store
+injector, no path timeout, a memory-backend store
 (:attr:`~repro.core.causal_graph.DirectCausalityTracker.supports_snapshot_replay`),
 and an ``exact``-mode profiler whose manager cannot downshift it into a
 sketch mode mid-run (batched replayed ``profiler.record`` ops are
 additive for exact buckets but would perturb space-saving
-promotion/eviction order).  Ineligible configurations still run under
-the event engine, with full-fidelity ingestion that is literally the
-tick loop's code.
+promotion/eviction order).  Sharded stores and the batched write
+pipeline are eligible: ``observe_all`` drains the pipeline at the end
+of every execution, so per-execution batch telemetry is a
+deterministic function of the converged trace shape and the buffers
+are empty at the cutover (the freeze drains them once more,
+defensively, before any delta is frozen).  Shard routing is
+uid-hash-dependent, but no non-volatile metric is keyed per shard;
+hash-variant aggregates are declared volatile above, and any other
+unsettled metric can only hold the convergence streak at zero — it can
+never diverge after a freeze.  Ineligible configurations still run
+under the event engine, with full-fidelity ingestion that is literally
+the tick loop's code.
 """
 
 from __future__ import annotations
@@ -254,6 +268,7 @@ class _ClassReplayState:
         "reference_delta",
         "reference_fingerprint",
         "reference_records_key",
+        "reference_residue",
         "streak",
         "executions",
         "last_trace",
@@ -268,6 +283,7 @@ class _ClassReplayState:
         self.reference_delta: Optional[Dict[str, tuple]] = None
         self.reference_fingerprint: Optional[tuple] = None
         self.reference_records_key: Optional[tuple] = None
+        self.reference_residue: Optional[tuple] = None
         self.streak = 0
         self.executions = 0
         self.last_trace = None
@@ -292,6 +308,7 @@ class _ClassReplayState:
         fingerprint: tuple,
         trace,
         record_ops: List[tuple],
+        residue: tuple,
     ) -> None:
         self.executions += 1
         self.last_trace = trace
@@ -302,12 +319,14 @@ class _ClassReplayState:
             delta == self.reference_delta
             and fingerprint == self.reference_fingerprint
             and records_key == self.reference_records_key
+            and residue == self.reference_residue
         ):
             self.streak += 1
         else:
             self.reference_delta = delta
             self.reference_fingerprint = fingerprint
             self.reference_records_key = records_key
+            self.reference_residue = residue
             self.record_ops = list(record_ops)
             self.streak = 1
 
@@ -393,9 +412,11 @@ class ReplayIngestor:
         """Execute for real (exactly the tick loop), recording deltas."""
         sim = self.sim
         request = sim.generator.classes[class_name]
+        tracker = sim.dca.tracker
         profiler = sim.dca.profiler
         last_trace = None
         before = _capture(self.registry)
+        nodes_before = tracker.store.node_count()
         for _ in range(live):
             # Spy on the profiler so the frozen state knows exactly
             # which path completions one execution produces (including
@@ -408,24 +429,56 @@ class ReplayIngestor:
             profiler.record = recording_spy
             try:
                 last_trace = sim.dca.runtime.execute_request(request, sampled=True)
-                sim.dca.tracker.observe_all(last_trace.messages)
+                tracker.observe_all(last_trace.messages)
             finally:
                 profiler.record = original_record
             after = _capture(self.registry)
+            nodes_after = tracker.store.node_count()
+            # Shard/batch-invariant ingestion residue: what this
+            # execution left behind in the write machinery.  All four
+            # components aggregate across shards (never keyed by shard
+            # index, which is uid-hash-variant and would block
+            # convergence for good); buffered/pending are 0 after every
+            # observe_all-triggered flush, and the net node delta pins
+            # the steady-state store growth the freeze will stop
+            # producing.
+            residue = (
+                tracker.buffered_writes,
+                tracker.pending_completion_depth,
+                tracker.dead_letters.depth,
+                nodes_after - nodes_before,
+            )
             state.note(
                 _delta(before, after),
                 last_trace.structural_fingerprint(),
                 last_trace,
                 record_ops,
+                residue,
             )
             before = after
+            nodes_before = nodes_after
         self.live_executions += live
         if remainder > 0 and last_trace is not None:
             # Same shortcut as the tick loop (no injector by construction).
             sim.dca.profiler.record(last_trace.signature, now, count=remainder)
 
     def _freeze_all(self, now: float) -> None:
-        """Atomic cutover: turn every class's stable delta into direct ops."""
+        """Atomic cutover: turn every class's stable delta into direct ops.
+
+        Ordering contract (pinned by
+        ``tests/sim/test_replay_cutover_ordering.py``): the tracker's
+        write pipeline is drained — journal flush included — *before*
+        any class delta is frozen, so every warmup write reaches the
+        store's durability point ahead of the moment ingestion stops
+        feeding it.  In practice the buffers are already empty (every
+        ``observe_all`` ends in a flush, which the residue fingerprint
+        pins at ``buffered_writes == 0``), so the drain emits no
+        telemetry and cannot perturb parity.
+        """
+        tracker = self.sim.dca.tracker
+        tracker.drain_pipeline()
+        if tracker.buffered_writes:
+            raise RuntimeError("write pipeline still buffered after cutover drain")
         by_key = {metric.key: metric for metric in self.registry}
         for state in self.states.values():
             if state.last_trace is None:

@@ -67,6 +67,13 @@ class ParityReport:
     state_diffs: List[str] = field(default_factory=list)
     #: Diverging interval records, serialised for the CI artifact.
     diff_records: List[Dict[str, object]] = field(default_factory=list)
+    #: Whether the event engine's converged-replay cutover fired during
+    #: this run (``None`` when no replay ingestor was even constructed —
+    #: faulted/baseline/sketch-mode configs).  Parity cells for
+    #: production configs assert on this so a silently-disengaged fast
+    #: path cannot masquerade as a parity pass.
+    replay_engaged: Optional[bool] = None
+    replayed_executions: int = 0
 
     @property
     def ok(self) -> bool:
@@ -92,6 +99,8 @@ class ParityReport:
             "snapshot_diffs": self.snapshot_diffs,
             "state_diffs": self.state_diffs,
             "diff_records": self.diff_records,
+            "replay_engaged": self.replay_engaged,
+            "replayed_executions": self.replayed_executions,
         }
 
 
@@ -207,6 +216,12 @@ def run_engine_parity(
         results[engine] = simulator.run()
         snapshots[engine] = registry.snapshot()
         failed_totals[engine] = simulator.nodes_failed_total
+        if engine == "event":
+            ingestor = getattr(
+                getattr(simulator, "event_runner", None), "ingestor", None
+            )
+            replay_engaged = None if ingestor is None else ingestor.replaying
+            replayed_executions = 0 if ingestor is None else ingestor.replayed_executions
 
     report = ParityReport(
         scenario=scenario_name,
@@ -215,6 +230,8 @@ def run_engine_parity(
         duration_minutes=duration_minutes,
         record_diffs=diff_results(results["tick"], results["event"]),
         snapshot_diffs=diff_snapshots(snapshots["tick"], snapshots["event"]),
+        replay_engaged=replay_engaged,
+        replayed_executions=replayed_executions,
     )
     if failed_totals["tick"] != failed_totals["event"]:
         report.state_diffs.append(

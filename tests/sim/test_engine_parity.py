@@ -91,7 +91,7 @@ class TestStoreConfigParity:
     """--engine event must compose bit-identically with --shards/--batch-size."""
 
     @pytest.mark.parametrize(
-        "num_shards,write_batch_size", [(2, 1), (1, 8), (4, 16)]
+        "num_shards,write_batch_size", [(2, 1), (1, 8), (4, 16), (4, 32)]
     )
     def test_sharded_batched(self, num_shards, write_batch_size):
         report = run_engine_parity(
@@ -102,6 +102,23 @@ class TestStoreConfigParity:
             write_batch_size=write_batch_size,
         )
         _assert_ok(report)
+
+    def test_production_config_engages_replay_cutover(self):
+        """The newly eligible fast-path config: sharded *and* batched,
+        cutover engaged, still bit-identical to the tick oracle.
+        ``max_live_traces_per_class=16`` compresses the warmup so the
+        convergence streak lands inside a tier-1-sized run."""
+        report = run_engine_parity(
+            "marketcetera",
+            "DCA-100%",
+            duration_minutes=60,
+            num_shards=4,
+            write_batch_size=32,
+            max_live_traces_per_class=16,
+        )
+        _assert_ok(report)
+        assert report.replay_engaged
+        assert report.replayed_executions > 0
 
 
 class TestProfilerModeParity:
